@@ -1,0 +1,43 @@
+"""Shared machinery for the per-exhibit benchmarks.
+
+Each benchmark regenerates one table/figure of the paper exactly once
+(pytest-benchmark's pedantic mode with a single round — these are
+experiment harnesses, not microbenchmarks), records its wall-clock
+time, prints the exhibit, and archives the formatted output under
+``benchmarks/results/`` for EXPERIMENTS.md.
+
+Trace length is controlled by ``REPRO_TRACE_LEN`` (default 120,000
+instructions); traces and annotations are shared across benchmarks
+within the session via the experiments-layer memoisation.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_exhibit_benchmark(benchmark, results_dir):
+    """Run one exhibit under the benchmark timer and archive its output."""
+
+    def runner(name, **kwargs):
+        from repro.experiments import run_exhibit
+
+        exhibit = benchmark.pedantic(
+            run_exhibit, args=(name,), kwargs=kwargs, rounds=1, iterations=1
+        )
+        text = exhibit.format()
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        return exhibit
+
+    return runner

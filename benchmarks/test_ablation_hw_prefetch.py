@@ -1,0 +1,20 @@
+"""Ablation benchmark: conventional hardware prefetching.
+
+The paper's premise (Section 1) is that commercial access patterns are
+not amenable to conventional prefetching; this replays each workload
+with next-line and PC-stride prefetchers and measures coverage and
+accuracy.
+"""
+
+
+def test_ablation_hw_prefetch(benchmark, results_dir):
+    from repro.experiments.ablations import run_ablation
+
+    exhibit = benchmark.pedantic(
+        run_ablation, args=("hw_prefetch",), rounds=1, iterations=1
+    )
+    text = exhibit.format()
+    (results_dir / "ablation_hw_prefetch.txt").write_text(text + "\n")
+    print()
+    print(text)
+    assert exhibit.tables

@@ -1,0 +1,20 @@
+"""Ablation benchmark: commercial vs scientific workloads.
+
+The paper's Section 1 contrasts commercial applications (irregular,
+unprefetchable misses) with scientific/streaming ones; this ablation
+measures that contrast with the ``streaming`` workload next to the
+paper's three.
+"""
+
+
+def test_ablation_intro_contrast(benchmark, results_dir):
+    from repro.experiments.ablations import run_ablation
+
+    exhibit = benchmark.pedantic(
+        run_ablation, args=("intro_contrast",), rounds=1, iterations=1
+    )
+    text = exhibit.format()
+    (results_dir / "ablation_intro_contrast.txt").write_text(text + "\n")
+    print()
+    print(text)
+    assert exhibit.tables

@@ -1,0 +1,18 @@
+"""Ablation benchmark: MSHR file size.
+
+How many outstanding-miss entries the measured MLP needs —
+the paper implicitly assumes this resource is never the bottleneck.
+"""
+
+
+def test_ablation_mshr(benchmark, results_dir):
+    from repro.experiments.ablations import run_ablation
+
+    exhibit = benchmark.pedantic(
+        run_ablation, args=("mshr",), rounds=1, iterations=1
+    )
+    text = exhibit.format()
+    (results_dir / "ablation_mshr.txt").write_text(text + "\n")
+    print()
+    print(text)
+    assert exhibit.tables

@@ -1,0 +1,19 @@
+"""Ablation benchmark: runahead distance.
+
+Section 5.4.1 caps runahead at 2048 instructions and notes the real
+bound is the off-chip latency; this sweep finds each workload's
+saturation point.
+"""
+
+
+def test_ablation_runahead_distance(benchmark, results_dir):
+    from repro.experiments.ablations import run_ablation
+
+    exhibit = benchmark.pedantic(
+        run_ablation, args=("runahead_distance",), rounds=1, iterations=1
+    )
+    text = exhibit.format()
+    (results_dir / "ablation_runahead_distance.txt").write_text(text + "\n")
+    print()
+    print(text)
+    assert exhibit.tables

@@ -1,0 +1,65 @@
+"""Ablation benchmark: seed robustness of the headline MLP numbers.
+
+Our traces are short synthetic samples of steady-state workloads; this
+sweep regenerates each workload under several seeds and reports the
+spread of the default-machine and runahead MLP, quantifying the
+sampling noise behind every number in EXPERIMENTS.md.
+"""
+
+
+def test_ablation_seed_stability(benchmark, results_dir):
+    from repro.analysis.variance import mlp_seed_sweep
+    from repro.core.config import MachineConfig
+    from repro.experiments.common import (
+        DISPLAY_NAMES,
+        Exhibit,
+        WORKLOAD_NAMES,
+        default_trace_len,
+    )
+
+    def run():
+        seeds = (1234, 2024, 7)
+        rows = []
+        notes = []
+        for name in WORKLOAD_NAMES:
+            for label, machine in (
+                ("64C", MachineConfig.named("64C")),
+                ("RAE", MachineConfig.runahead_machine()),
+            ):
+                sweep = mlp_seed_sweep(
+                    name, machine, seeds=seeds,
+                    trace_len=default_trace_len(),
+                )
+                rows.append(
+                    [
+                        DISPLAY_NAMES[name],
+                        label,
+                        sweep.mean,
+                        sweep.minimum,
+                        sweep.maximum,
+                        sweep.relative_spread,
+                    ]
+                )
+            notes.append(
+                f"{DISPLAY_NAMES[name]}: 64C MLP spread"
+                f" {rows[-2][5]:.1%} across seeds"
+            )
+        return Exhibit(
+            name="Ablation: seed stability",
+            title="MLP sampling noise across workload-generator seeds",
+            tables=[
+                (
+                    None,
+                    ["Benchmark", "Machine", "mean", "min", "max", "spread"],
+                    rows,
+                )
+            ],
+            notes=notes,
+        )
+
+    exhibit = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = exhibit.format()
+    (results_dir / "ablation_seed_stability.txt").write_text(text + "\n")
+    print()
+    print(text)
+    assert exhibit.tables

@@ -1,0 +1,18 @@
+"""Ablation benchmark: slow unresolvable-branch predictor.
+
+Section 3.2.4 suggests a slow-but-accurate predictor for
+miss-dependent branches; this maps its accuracy to MLP.
+"""
+
+
+def test_ablation_slow_bp(benchmark, results_dir):
+    from repro.experiments.ablations import run_ablation
+
+    exhibit = benchmark.pedantic(
+        run_ablation, args=("slow_bp",), rounds=1, iterations=1
+    )
+    text = exhibit.format()
+    (results_dir / "ablation_slow_bp.txt").write_text(text + "\n")
+    print()
+    print(text)
+    assert exhibit.tables

@@ -1,0 +1,18 @@
+"""Ablation benchmark: store buffer.
+
+Store MLP and the cost of finite store buffering: the 'store MLP'
+future work the paper names in Section 7.
+"""
+
+
+def test_ablation_store_buffer(benchmark, results_dir):
+    from repro.experiments.ablations import run_ablation
+
+    exhibit = benchmark.pedantic(
+        run_ablation, args=("store_buffer",), rounds=1, iterations=1
+    )
+    text = exhibit.format()
+    (results_dir / "ablation_store_buffer.txt").write_text(text + "\n")
+    print()
+    print(text)
+    assert exhibit.tables

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 10 (the limit study).
+
+Perfect I-fetch / value prediction / branch prediction over the
+runahead and conventional baselines.
+"""
+
+
+def test_bench_figure10(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("figure10")
+    assert exhibit.tables

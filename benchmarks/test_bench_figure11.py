@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 11 (overall performance improvement).
+
+Equation 2 CPI estimates for the headline configurations,
+relative to the 64D machine at 1000 cycles.
+"""
+
+
+def test_bench_figure11(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("figure11")
+    assert exhibit.tables

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 2 (clustering of misses).
+
+Observed vs uniform cumulative inter-miss distributions for the
+three workloads.
+"""
+
+
+def test_bench_figure2(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("figure2")
+    assert exhibit.tables

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Figure 4 (impact of ROB size and issue constraints).
+
+MLP over window sizes 16-256 under issue configurations A-E.
+"""
+
+
+def test_bench_figure4(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("figure4")
+    assert exhibit.tables

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Figure 5 (factors inhibiting further MLP).
+
+Per-epoch inhibitor breakdown over the size/config grid.
+"""
+
+
+def test_bench_figure5(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("figure5")
+    assert exhibit.tables

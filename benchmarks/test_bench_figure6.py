@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 6 (decoupling issue window and ROB).
+
+MLP as the ROB grows to multiples of the issue window and to
+2048 entries, plus the INF machine.
+"""
+
+
+def test_bench_figure6(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("figure6")
+    assert exhibit.tables

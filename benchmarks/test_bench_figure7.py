@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 7 (impact of L2 cache size).
+
+Traces re-annotated under each L2 capacity, then run through
+the default machine.
+"""
+
+
+def test_bench_figure7(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("figure7")
+    assert exhibit.tables

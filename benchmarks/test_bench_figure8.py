@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 8 (impact of runahead execution).
+
+Runahead against 64-entry machines with 64- and 256-entry ROBs,
+and the INF reference.
+"""
+
+
+def test_bench_figure8(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("figure8")
+    assert exhibit.tables

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Figure 9 / Table 6 (missing-load value prediction).
+
+Last-value predictor statistics and the MLP gain of adding the
+predictor to the Figure 8 machines.
+"""
+
+
+def test_bench_figure9_table6(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("figure9_table6")
+    assert exhibit.tables

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 1 (on-chip vs off-chip CPI components).
+
+CPI decomposition via the cycle simulator at 200- and 1000-cycle
+off-chip latencies, with Overlap_CM derived from Equation 2.
+"""
+
+
+def test_bench_table1(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("table1")
+    assert exhibit.tables

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 3 (MLPsim vs the cycle-accurate simulator).
+
+The validation grid: sizes x configs x latencies; cyclesim MLP
+converges to MLPsim as the off-chip latency grows.
+"""
+
+
+def test_bench_table3(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("table3")
+    assert exhibit.tables

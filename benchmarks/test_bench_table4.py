@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 4 (estimated vs measured CPI).
+
+Equation 2 + MLPsim CPI estimates against cycle-simulator
+measurements, including cross-configuration anchors.
+"""
+
+
+def test_bench_table4(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("table4")
+    assert exhibit.tables

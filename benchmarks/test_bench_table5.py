@@ -1,0 +1,10 @@
+"""Benchmark: regenerate the paper's Table 5 (MLP of in-order issue).
+
+Stall-on-miss and stall-on-use machines against the default
+out-of-order 64C machine.
+"""
+
+
+def test_bench_table5(run_exhibit_benchmark):
+    exhibit = run_exhibit_benchmark("table5")
+    assert exhibit.tables

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Building and studying a custom workload with the synthesis toolkit.
+
+Models a key-value store lookup loop: a hash probe (one independent
+missing load), a short collision chain (dependent misses), and value
+copy-out — then asks the paper's questions of it: how clustered are its
+misses, what limits its MLP, and how much would runahead help?
+
+This demonstrates the extension surface a downstream user has: the
+Emitter / Region / site-model toolkit, the annotation pipeline, and
+MLPsim's inhibitor accounting.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import MachineConfig, MLPSim, annotate
+from repro.analysis.clustering import clustering_curves
+from repro.core.termination import FIGURE5_ORDER
+from repro.workloads.base import Emitter, SyntheticWorkload
+from repro.workloads.synthesis import BranchSites, Region, ValueSites
+
+
+class KeyValueStore(SyntheticWorkload):
+    """A memcached-ish lookup loop."""
+
+    name = "kvstore"
+
+    def __init__(self, seed=7, chain_probability=0.3, values_per_hit=2):
+        super().__init__(seed=seed)
+        self.chain_probability = chain_probability
+        self.values_per_hit = values_per_hit
+
+    def setup(self, rng):
+        self.hot = Region(0x1000_0000, 8 * 1024)  # hash-table metadata
+        self.buckets = Region(0x4000_0000, 256 * 1024 * 1024)
+        self.heap = Region(0x5000_0000, 256 * 1024 * 1024)
+        self.values = ValueSites(repeat_prob=0.4)
+        self.branches = BranchSites()
+        self.loop_base = 0x0080_0000
+
+    def emit_transaction(self, em, rng):
+        base = self.loop_base
+        em.jump(base)
+        # Hash computation: pure on-chip work at fixed PCs.
+        for k in range(6):
+            em.alu(16 + (k % 4), 16 + ((k + 1) % 4), 1)
+        # Bucket probe: an independent missing load.
+        em.alu(8, 1, 7)
+        bucket = self.buckets.next_line(stride_lines=211)
+        em.load(9, bucket, src1=8, value=self.values.value(rng, em.pc))
+        # Collision chain: dependent misses, like the paper's B-trees.
+        head = em.pc
+        chained = rng.random() < self.chain_probability
+        em.branch(not chained, head + 8, src1=5)
+        if chained:
+            em.load(9, self.buckets.next_line(stride_lines=223), src1=9,
+                    value=self.values.value(rng, em.pc))
+        # Value copy-out: lines adjacent to the entry (a small cluster).
+        em.pc = head + 8
+        item = self.heap.next_line(stride_lines=97)
+        for v in range(self.values_per_hit):
+            em.load(10 + v, item + 64 * v, src1=9,
+                    value=self.values.value(rng, em.pc))
+            em.alu(15, 10 + v, 15)
+        em.store(self.hot.random_addr(rng), data_src=15, src1=1)
+        # Think time between requests.
+        for k in range(40):
+            em.alu(20 + (k % 8), 20 + ((k + 1) % 8), 1)
+
+
+def main():
+    workload = KeyValueStore()
+    trace = workload.generate(120_000)
+    annotated = annotate(trace)
+    print(
+        f"kvstore: {annotated.miss_rate_per_100():.2f} useful off-chip"
+        " accesses per 100 instructions"
+    )
+
+    curves = clustering_curves(annotated)
+    print(
+        f"miss clustering divergence from uniform: {curves.divergence():.2f}"
+    )
+
+    print("\nMLP and limiting factors:")
+    for label in ("64A", "64C", "64E"):
+        result = MLPSim(MachineConfig.named(label)).run(annotated)
+        breakdown = result.inhibitor_breakdown()
+        top = max(FIGURE5_ORDER, key=lambda i: breakdown[i])
+        print(
+            f"  {label}: MLP={result.mlp:5.3f}  dominant inhibitor:"
+            f" {top.value} ({breakdown[top]:.0%} of epochs)"
+        )
+
+    rae = MLPSim(MachineConfig.runahead_machine(max_runahead=512)).run(annotated)
+    base = MLPSim(MachineConfig.named("64C")).run(annotated)
+    print(
+        f"\nrunahead (512-instruction distance):"
+        f" MLP={rae.mlp:.3f} ({rae.mlp / base.mlp - 1:+.0%})"
+    )
+    print(
+        "the collision chains resist runahead (dependent misses), the"
+        " copy-out clusters do not — same physics as the paper's database."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Render the paper's key figures as terminal charts.
+
+The exhibit harnesses reproduce the figures' *data*; this script draws
+Figure 4 (MLP vs window size per issue configuration), Figure 8
+(runahead bars) and Figure 10 (limit-study bars) as ASCII graphics —
+useful in the offline, headless reproduction environment.
+
+Run:  python examples/plot_figures.py [trace_length]
+"""
+
+import sys
+
+from repro.analysis.charts import bar_chart, line_chart
+from repro.experiments import run_exhibit
+
+
+def figure4(trace_len):
+    exhibit = run_exhibit("figure4", trace_len=trace_len)
+    for title, headers, rows in exhibit.tables:
+        sizes = [row[0] for row in rows]
+        series = {
+            headers[c][-1]: [row[c] for row in rows]
+            for c in range(1, len(headers))
+        }
+        print(
+            line_chart(
+                sizes,
+                series,
+                title=f"\nFigure 4 — {title}: MLP vs ROB/IW size",
+            )
+        )
+        print()
+
+
+def figure8(trace_len):
+    exhibit = run_exhibit("figure8", trace_len=trace_len)
+    _, headers, rows = exhibit.tables[0]
+    groups = [
+        (row[0], list(zip(headers[1:], row[1:])))
+        for row in rows
+    ]
+    print(bar_chart(groups, title="\nFigure 8 — runahead execution (MLP)"))
+
+
+def figure10(trace_len):
+    exhibit = run_exhibit("figure10", trace_len=trace_len)
+    title, headers, rows = exhibit.tables[0]  # the runahead baseline
+    groups = [
+        (row[0], list(zip(headers[1:-1], row[1:-1])))
+        for row in rows
+    ]
+    print(bar_chart(groups, title=f"\nFigure 10 — {title} (MLP)"))
+
+
+def main():
+    trace_len = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    figure4(trace_len)
+    figure8(trace_len)
+    figure10(trace_len)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: measure the MLP of a workload on a few machines.
+
+Generates the synthetic database workload, annotates it against the
+paper's default memory hierarchy, and compares the MLP of an in-order
+core, the default out-of-order 64C machine, and a runahead machine —
+the headline comparison of the paper in ~20 lines.
+
+Run:  python examples/quickstart.py [trace_length]
+"""
+
+import sys
+
+from repro import (
+    MachineConfig,
+    MLPSim,
+    annotate,
+    generate_trace,
+    simulate_stall_on_use,
+)
+
+
+def main():
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    print(f"generating a {length}-instruction database trace ...")
+    trace = generate_trace("database", length)
+
+    print("annotating (caches + branch predictor + value predictor) ...")
+    annotated = annotate(trace)
+    print(
+        f"  {annotated.num_offchip()} useful off-chip accesses in the"
+        f" measured region ({annotated.miss_rate_per_100():.2f} per 100"
+        " instructions)"
+    )
+
+    print("\nsimulating:")
+    in_order = simulate_stall_on_use(annotated)
+    print(f"  {in_order.summary()}")
+
+    default = MLPSim(MachineConfig.named("64C")).run(annotated)
+    print(f"  {default.summary()}")
+
+    runahead = MLPSim(MachineConfig.runahead_machine()).run(annotated)
+    print(f"  {runahead.summary()}")
+
+    print(
+        f"\nrunahead improves MLP over the conventional machine by"
+        f" {runahead.mlp / default.mlp - 1:+.0%}"
+        f" (and over in-order by {runahead.mlp / in_order.mlp - 1:+.0%})."
+    )
+
+
+if __name__ == "__main__":
+    main()

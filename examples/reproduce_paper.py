@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs all 13 exhibit harnesses and writes their formatted output to
+stdout (and optionally to a directory).  ``REPRO_TRACE_LEN`` controls
+the trace length (default 120,000 instructions per workload).
+
+Run:  python examples/reproduce_paper.py [--out DIR] [exhibit ...]
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments import EXHIBITS, run_exhibit
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "exhibits",
+        nargs="*",
+        default=list(EXHIBITS),
+        help="exhibit names to run (default: all)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, help="directory to archive outputs in"
+    )
+    args = parser.parse_args(argv)
+
+    unknown = [name for name in args.exhibits if name not in EXHIBITS]
+    if unknown:
+        parser.error(f"unknown exhibits: {unknown}; choose from {list(EXHIBITS)}")
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    total = time.time()
+    for name in args.exhibits:
+        started = time.time()
+        exhibit = run_exhibit(name)
+        text = exhibit.format()
+        print(text)
+        print(f"[{name} took {time.time() - started:.1f}s]\n")
+        if args.out:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    print(f"reproduced {len(args.exhibits)} exhibits in {time.time() - total:.0f}s")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setup shim for environments that cannot build PEP 517 editable wheels.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on machines without the ``wheel``
+package (e.g. fully offline boxes).
+"""
+
+from setuptools import setup
+
+setup()

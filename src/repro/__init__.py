@@ -1,0 +1,87 @@
+"""repro: a reproduction of "Microarchitecture Optimizations for
+Exploiting Memory-Level Parallelism" (Chou, Fahs & Abraham, ISCA 2004).
+
+The package implements the paper's epoch model of MLP and its MLPsim
+simulator, a cycle-accurate out-of-order pipeline for validation,
+the full memory/branch/value-prediction substrate, synthetic commercial
+workloads standing in for the paper's proprietary traces, and harnesses
+that regenerate every table and figure of the evaluation section.
+
+Quickstart::
+
+    from repro import MachineConfig, MLPSim, annotate, generate_trace
+
+    trace = generate_trace("database", 100_000)
+    annotated = annotate(trace)
+    result = MLPSim(MachineConfig.named("64C")).run(annotated)
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.core.config import (
+    BranchPolicy,
+    IssueConfig,
+    LoadPolicy,
+    MachineConfig,
+    SerializePolicy,
+)
+from repro.core.inorder import (
+    InOrderPolicy,
+    simulate_inorder,
+    simulate_stall_on_miss,
+    simulate_stall_on_use,
+)
+from repro.core.mlpsim import MLPSim, simulate
+from repro.core.results import MLPResult
+from repro.core.termination import Inhibitor
+from repro.cyclesim import CycleSimConfig, CycleSimulator, run_cyclesim
+from repro.perf.cpi_model import (
+    cpi_breakdown,
+    derive_overlap_cm,
+    estimate_cpi,
+    speedup,
+)
+from repro.trace.annotate import AnnotationConfig, annotate, manual_annotation
+from repro.trace.builder import TraceBuilder
+from repro.trace.io import load_annotated, load_trace, save_annotated, save_trace
+from repro.trace.trace import Trace
+from repro.workloads import generate_trace, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchPolicy",
+    "IssueConfig",
+    "LoadPolicy",
+    "MachineConfig",
+    "SerializePolicy",
+    "InOrderPolicy",
+    "simulate_inorder",
+    "simulate_stall_on_miss",
+    "simulate_stall_on_use",
+    "MLPSim",
+    "simulate",
+    "MLPResult",
+    "Inhibitor",
+    "CycleSimConfig",
+    "CycleSimulator",
+    "run_cyclesim",
+    "cpi_breakdown",
+    "derive_overlap_cm",
+    "estimate_cpi",
+    "speedup",
+    "AnnotationConfig",
+    "annotate",
+    "manual_annotation",
+    "TraceBuilder",
+    "load_annotated",
+    "load_trace",
+    "save_annotated",
+    "save_trace",
+    "Trace",
+    "generate_trace",
+    "get_workload",
+    "__version__",
+]

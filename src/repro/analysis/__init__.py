@@ -1,0 +1,27 @@
+"""Analysis helpers: miss clustering, parameter sweeps, table rendering."""
+
+from repro.analysis.clustering import (
+    ClusteringCurves,
+    cumulative_intermiss_distribution,
+    uniform_intermiss_distribution,
+    clustering_curves,
+)
+from repro.analysis.sweep import SweepResult, sweep
+from repro.analysis.tables import format_table
+from repro.analysis.charts import bar_chart, line_chart
+from repro.analysis.variance import SeedSweep, mlp_seed_sweep, seed_sweep
+
+__all__ = [
+    "ClusteringCurves",
+    "cumulative_intermiss_distribution",
+    "uniform_intermiss_distribution",
+    "clustering_curves",
+    "SweepResult",
+    "sweep",
+    "format_table",
+    "bar_chart",
+    "line_chart",
+    "SeedSweep",
+    "mlp_seed_sweep",
+    "seed_sweep",
+]

@@ -1,0 +1,129 @@
+"""Terminal (ASCII) charts for the figure exhibits.
+
+The paper's figures are line and bar charts; the experiment harnesses
+reproduce their *data* as tables, and this module renders those tables
+as terminal graphics so the shapes can be eyeballed without a plotting
+stack (the reproduction environment is offline and headless).
+
+Two renderers:
+
+* :func:`line_chart` — multi-series line chart over shared x labels
+  (Figures 4, 7 and the ablation sweeps);
+* :func:`bar_chart` — grouped horizontal bars (Figures 8, 10, 11).
+"""
+
+_SERIES_MARKS = "o+x*#@%&"
+
+
+def _scale(value, low, high, width):
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return int(round(position * (width - 1)))
+
+
+def line_chart(x_labels, series, height=12, width=64, title=None,
+               y_format="{:.2f}"):
+    """Render a multi-series line chart.
+
+    Parameters
+    ----------
+    x_labels:
+        Labels of the shared x positions (evenly spaced).
+    series:
+        Mapping of series name to a list of y values (same length as
+        *x_labels*; ``None`` entries are skipped).
+    height / width:
+        Plot area size in character cells.
+    """
+    values = [
+        v for ys in series.values() for v in ys if v is not None
+    ]
+    if not values:
+        raise ValueError("line_chart needs at least one value")
+    low, high = min(values), max(values)
+    if high == low:
+        high = low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    columns = [
+        _scale(i, 0, max(1, len(x_labels) - 1), width)
+        for i in range(len(x_labels))
+    ]
+    for mark, (name, ys) in zip(_SERIES_MARKS, series.items()):
+        previous = None
+        for i, y in enumerate(ys):
+            if y is None:
+                previous = None
+                continue
+            row = height - 1 - _scale(y, low, high, height)
+            col = columns[i]
+            grid[row][col] = mark
+            if previous is not None:
+                # Connect with a sparse line.
+                prow, pcol = previous
+                steps = max(abs(col - pcol), abs(row - prow))
+                for s in range(1, steps):
+                    r = prow + (row - prow) * s // steps
+                    c = pcol + (col - pcol) * s // steps
+                    if grid[r][c] == " ":
+                        grid[r][c] = "."
+            previous = (row, col)
+
+    left_labels = [y_format.format(high), "", y_format.format(low)]
+    label_width = max(len(label) for label in left_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = left_labels[0]
+        elif r == height - 1:
+            label = left_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    # X labels: first, middle, last.
+    xaxis = [" "] * width
+    for idx in (0, len(x_labels) // 2, len(x_labels) - 1):
+        text = str(x_labels[idx])
+        col = min(columns[idx], width - len(text))
+        for k, ch in enumerate(text):
+            xaxis[col + k] = ch
+    lines.append(" " * label_width + "  " + "".join(xaxis))
+    legend = "   ".join(
+        f"{mark}={name}" for mark, name in zip(_SERIES_MARKS, series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(groups, width=48, title=None, value_format="{:.2f}"):
+    """Render grouped horizontal bars.
+
+    *groups* is a list of ``(group_label, [(bar_label, value), ...])``.
+    Bars are scaled to the global maximum.
+    """
+    all_values = [v for _, bars in groups for _, v in bars]
+    if not all_values:
+        raise ValueError("bar_chart needs at least one value")
+    peak = max(all_values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(
+        len(str(label)) for _, bars in groups for label, _ in bars
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    for group_label, bars in groups:
+        lines.append(f"{group_label}:")
+        for label, value in bars:
+            filled = _scale(max(0.0, value), 0, peak, width)
+            bar = "#" * max(filled, 1 if value > 0 else 0)
+            lines.append(
+                f"  {str(label):<{label_width}} |{bar:<{width}}| "
+                + value_format.format(value)
+            )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Parameter-sweep harness over MLPsim.
+
+The paper's Figures 4-10 are all sweeps of machine configurations over
+the same annotated traces.  :func:`sweep` runs a labelled grid of
+machines and collects the results in a :class:`SweepResult` that the
+experiment modules index and render.
+"""
+
+import dataclasses
+
+from repro.core.mlpsim import simulate
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Results of one machine grid over one annotated trace."""
+
+    workload: str
+    results: dict  # label -> MLPResult
+
+    def mlp(self, label):
+        """MLP of the configuration named *label*."""
+        return self.results[label].mlp
+
+    def labels(self):
+        """Configuration labels, in grid order."""
+        return list(self.results)
+
+    def series(self, labels=None):
+        """Return [(label, mlp)] for plotting/printing."""
+        labels = labels if labels is not None else self.labels()
+        return [(label, self.results[label].mlp) for label in labels]
+
+    def relative(self, baseline_label):
+        """MLP of each config relative to *baseline_label* (1.0 = equal)."""
+        base = self.mlp(baseline_label)
+        return {
+            label: (result.mlp / base if base else 0.0)
+            for label, result in self.results.items()
+        }
+
+
+def sweep(annotated, machines, workload=None, progress=None):
+    """Run MLPsim for every ``(label, machine)`` pair in *machines*.
+
+    *machines* is an iterable of pairs (an ordered mapping also works).
+    *progress*, if given, is called with each label as it completes —
+    the benchmark harness uses it for liveness output.
+    """
+    if hasattr(machines, "items"):
+        machines = machines.items()
+    results = {}
+    name = workload or annotated.trace.name
+    for label, machine in machines:
+        results[label] = simulate(annotated, machine, workload=name)
+        if progress is not None:
+            progress(label)
+    return SweepResult(workload=name, results=results)

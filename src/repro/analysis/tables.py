@@ -1,0 +1,40 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment prints the paper's rows/series as a monospaced table;
+this is the one formatter they all share.
+"""
+
+
+def _render_cell(value, spec):
+    if value is None:
+        return ""
+    if spec and isinstance(value, float):
+        return format(value, spec)
+    return str(value)
+
+
+def format_table(headers, rows, float_format=".3f", title=None):
+    """Render *rows* under *headers* as an aligned text table.
+
+    Floats are formatted with *float_format*; ``None`` cells render
+    empty.  Returns a string (no trailing newline).
+    """
+    rendered = [[_render_cell(cell, None) for cell in headers]]
+    for row in rows:
+        rendered.append([_render_cell(cell, float_format) for cell in row])
+    widths = [
+        max(len(r[col]) for r in rendered) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        cell.ljust(width) for cell, width in zip(rendered[0], widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered[1:]:
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Branch-prediction substrate.
+
+The paper's front end (Section 5.1): a 64K-entry gshare direction
+predictor, a 16K-entry branch target buffer, and a 16-entry return
+address stack.  Mispredicted branches matter to MLP only when they are
+*unresolvable* — dependent on a missing load — in which case they
+terminate the epoch window (Section 3.2.4).
+"""
+
+from repro.branch.gshare import GshareGPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.frontend import BranchKind, BranchPredictor, PredictorStats
+from repro.branch.perfect import PerfectBranchPredictor
+
+__all__ = [
+    "GshareGPredictor",
+    "BranchTargetBuffer",
+    "ReturnAddressStack",
+    "BranchKind",
+    "BranchPredictor",
+    "PredictorStats",
+    "PerfectBranchPredictor",
+]

@@ -1,0 +1,53 @@
+"""Gshare direction predictor (McFarling).
+
+A table of 2-bit saturating counters indexed by the branch PC XOR the
+global branch-history register.  The paper's machine uses 64K entries,
+i.e. a 16-bit index and 16 bits of global history.
+"""
+
+
+class GshareGPredictor:
+    """2-bit-counter gshare with configurable table size.
+
+    Counters: 0/1 predict not-taken, 2/3 predict taken; initialised to 1
+    (weakly not-taken).
+    """
+
+    def __init__(self, entries=64 * 1024):
+        if entries & (entries - 1):
+            raise ValueError("gshare table size must be a power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._history_bits = entries.bit_length() - 1
+        self._history = 0
+        self._counters = bytearray([1]) * entries
+
+    def _index(self, pc):
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc):
+        """Return the predicted direction (True = taken) for *pc*."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc, taken):
+        """Train on the resolved outcome and shift the global history."""
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            if counter < 3:
+                self._counters[index] = counter + 1
+        else:
+            if counter > 0:
+                self._counters[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+
+    def predict_and_update(self, pc, taken):
+        """Convenience: predict, then train; returns the prediction."""
+        prediction = self.predict(pc)
+        self.update(pc, taken)
+        return prediction
+
+    @property
+    def history(self):
+        """The current global history register (for tests)."""
+        return self._history

@@ -1,0 +1,21 @@
+"""Perfect branch prediction for the limit study (Section 5.6).
+
+Under perfect branch prediction no branch ever mispredicts, so the
+*unresolvable mispredicted branch* window-termination condition
+disappears entirely (the ``RAE.perfBP`` bars of Figure 10).
+"""
+
+from repro.branch.frontend import BranchKind, PredictorStats
+
+
+class PerfectBranchPredictor:
+    """Oracle predictor: every branch is predicted correctly."""
+
+    def __init__(self):
+        self.stats = PredictorStats()
+
+    def observe(self, pc, taken, target, kind=BranchKind.CONDITIONAL):
+        """Record the branch; always returns False (never mispredicted)."""
+        del pc, taken, target, kind
+        self.stats.branches += 1
+        return False

@@ -1,0 +1,45 @@
+"""Return address stack.
+
+A 16-entry circular stack predicting return targets.  Calls push their
+fall-through address; returns pop.  Overflow wraps (oldest entry is
+silently overwritten) and underflow predicts nothing, both standard
+hardware behaviours.
+"""
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return address stack."""
+
+    def __init__(self, depth=16):
+        if depth <= 0:
+            raise ValueError("RAS depth must be positive")
+        self.depth = depth
+        self._stack = [None] * depth
+        self._top = 0  # index of next free slot
+        self._occupancy = 0
+
+    def push(self, return_address):
+        """Push the return address of a call."""
+        self._stack[self._top] = return_address
+        self._top = (self._top + 1) % self.depth
+        if self._occupancy < self.depth:
+            self._occupancy += 1
+
+    def pop(self):
+        """Pop the predicted return target; None if the stack is empty."""
+        if self._occupancy == 0:
+            return None
+        self._top = (self._top - 1) % self.depth
+        self._occupancy -= 1
+        value = self._stack[self._top]
+        self._stack[self._top] = None
+        return value
+
+    def peek(self):
+        """Return the top entry without popping; None if empty."""
+        if self._occupancy == 0:
+            return None
+        return self._stack[(self._top - 1) % self.depth]
+
+    def __len__(self):
+        return self._occupancy

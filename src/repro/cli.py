@@ -1,0 +1,375 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``generate``  — synthesise a workload trace and save it as ``.npz``;
+* ``stats``     — print trace statistics (mix, misses, clustering);
+* ``calibrate`` — compare a workload's measured characteristics against
+  the paper's published numbers;
+* ``simulate``  — run MLPsim (or an in-order machine) over a workload or
+  saved trace and print MLP, inhibitors and store MLP;
+* ``cyclesim``  — run the cycle-accurate simulator and print CPI/MLP;
+* ``exhibit``   — regenerate one (or all) of the paper's tables/figures;
+* ``ablation``  — run one of the ablation studies.
+
+Examples::
+
+    python -m repro simulate database --machine 64C --machine RAE
+    python -m repro exhibit table3
+    python -m repro generate specweb99 -n 200000 -o web.npz
+    python -m repro simulate --trace web.npz --machine 128E
+    python -m repro ablation runahead_distance
+"""
+
+import argparse
+import sys
+
+from repro.core.config import MachineConfig
+
+
+def _parse_machine(spec):
+    """Parse a machine spec like ``64C``, ``64D/rob256`` or ``RAE``.
+
+    Comma-separated ``key=value`` options follow after a colon, e.g.
+    ``64C:store_buffer=8,max_outstanding=16`` or ``RAE:max_runahead=512``.
+    """
+    options = {}
+    if ":" in spec:
+        spec, raw = spec.split(":", 1)
+        for item in raw.split(","):
+            key, _, value = item.partition("=")
+            if not value:
+                raise ValueError(f"malformed machine option {item!r}")
+            if value in ("true", "True"):
+                parsed = True
+            elif value in ("false", "False"):
+                parsed = False
+            else:
+                try:
+                    parsed = int(value)
+                except ValueError:
+                    parsed = float(value)
+            options[key] = parsed
+    if spec.upper() in ("RAE", "RUNAHEAD"):
+        return MachineConfig.runahead_machine(**options)
+    if spec.upper() in ("SOM", "STALL-ON-MISS", "SOU", "STALL-ON-USE"):
+        raise ValueError(
+            "use --machine with an out-of-order spec; in-order machines"
+            " are selected with --in-order"
+        )
+    if "/rob" in spec:
+        base, rob = spec.split("/rob", 1)
+        options["rob"] = int(rob)
+        return MachineConfig.named(base, **options)
+    return MachineConfig.named(spec, **options)
+
+
+def _load_annotated(args):
+    """Resolve the workload/trace arguments into an annotated trace."""
+    from repro.trace.annotate import annotate
+    from repro.trace.io import load_trace
+    from repro.workloads import generate_trace
+
+    if getattr(args, "trace", None):
+        trace = load_trace(args.trace)
+    else:
+        trace = generate_trace(args.workload, args.length, seed=args.seed)
+    return annotate(trace)
+
+
+def _add_trace_arguments(parser, require_workload=True):
+    parser.add_argument(
+        "workload",
+        nargs="?" if not require_workload else None,
+        help="workload name (database / specjbb2000 / specweb99)",
+    )
+    parser.add_argument(
+        "--trace", help="load a saved .npz trace instead of generating"
+    )
+    parser.add_argument(
+        "-n", "--length", type=int, default=120_000,
+        help="trace length in instructions (default 120000)",
+    )
+    parser.add_argument("--seed", type=int, default=1234)
+
+
+def cmd_generate(args):
+    """``repro generate``: synthesise and save a workload trace."""
+    from repro.trace.io import save_trace
+    from repro.workloads import generate_trace
+
+    trace = generate_trace(args.workload, args.length, seed=args.seed)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} instructions to {args.output}")
+    return 0
+
+
+def cmd_stats(args):
+    """``repro stats``: trace statistics and miss clustering."""
+    from repro.analysis.clustering import clustering_curves
+    from repro.trace.stats import compute_stats
+
+    annotated = _load_annotated(args)
+    stats = compute_stats(
+        annotated.trace, dmiss_mask=annotated.dmiss, imiss_mask=annotated.imiss
+    )
+    print(stats.format())
+    print()
+    print(clustering_curves(annotated).format())
+    return 0
+
+
+def cmd_calibrate(args):
+    """``repro calibrate``: measured vs published characteristics."""
+    from repro.workloads.calibration import check_calibration
+
+    annotated = _load_annotated(args)
+    print(check_calibration(annotated.trace, annotated).format())
+    return 0
+
+
+def cmd_simulate(args):
+    """``repro simulate``: MLPsim / in-order machines over a trace."""
+    from repro.core.inorder import (
+        simulate_stall_on_miss,
+        simulate_stall_on_use,
+    )
+    from repro.core.mlpsim import simulate
+
+    annotated = _load_annotated(args)
+    results = []
+    if args.in_order in ("stall-on-miss", "both"):
+        results.append(simulate_stall_on_miss(annotated))
+    if args.in_order in ("stall-on-use", "both"):
+        results.append(simulate_stall_on_use(annotated))
+    for spec in args.machine or (["64C"] if not args.in_order else []):
+        results.append(simulate(annotated, _parse_machine(spec)))
+    for result in results:
+        print(result.summary())
+        if args.inhibitors:
+            breakdown = result.inhibitor_breakdown()
+            parts = [
+                f"{k.value}={v:.1%}" for k, v in breakdown.items() if v > 0.001
+            ]
+            print(f"    inhibitors: {', '.join(parts) or 'n/a'}")
+        if args.store_mlp and result.store_accesses:
+            print(
+                f"    store MLP: {result.store_mlp:.3f}"
+                f" ({result.store_accesses} off-chip stores)"
+            )
+    return 0
+
+
+def cmd_cyclesim(args):
+    """``repro cyclesim``: the cycle-accurate simulator."""
+    from repro.cyclesim import CycleSimConfig, run_cyclesim
+
+    annotated = _load_annotated(args)
+    for spec in args.machine or ["64C"]:
+        machine = _parse_machine(spec)
+        config = CycleSimConfig.from_machine(
+            machine, miss_penalty=args.latency, perfect_l2=args.perfect_l2
+        )
+        metrics = run_cyclesim(annotated, config)
+        print(metrics.summary())
+        if args.stack:
+            print(f"    {metrics.format_cpi_stack()}")
+    return 0
+
+
+def cmd_exhibit(args):
+    """``repro exhibit``: regenerate paper tables/figures."""
+    import os
+
+    from repro.experiments import EXHIBITS, run_exhibit
+
+    if args.length:
+        os.environ["REPRO_TRACE_LEN"] = str(args.length)
+    names = args.names or list(EXHIBITS)
+    for name in names:
+        print(run_exhibit(name).format())
+        print()
+    return 0
+
+
+def cmd_ablation(args):
+    """``repro ablation``: run the ablation studies."""
+    import os
+
+    from repro.experiments.ablations import ABLATIONS, run_ablation
+
+    if args.length:
+        os.environ["REPRO_TRACE_LEN"] = str(args.length)
+    names = args.names or list(ABLATIONS)
+    for name in names:
+        print(run_ablation(name).format())
+        print()
+    return 0
+
+
+def cmd_inspect(args):
+    """``repro inspect``: print the first epochs of a run, with context."""
+    from repro.core.mlpsim import simulate
+
+    annotated = _load_annotated(args)
+    machine = _parse_machine(args.machine[0] if args.machine else "64C")
+    start = annotated.measure_start
+    result = simulate(
+        annotated,
+        machine,
+        start=start,
+        stop=min(len(annotated.trace), start + args.window),
+        record_sets=True,
+    )
+    print(
+        f"{result.workload} on {machine.label}: {result.epochs} epochs,"
+        f" MLP={result.mlp:.3f} over the first {args.window} measured"
+        " instructions"
+    )
+    for epoch in result.epoch_records[: args.epochs]:
+        trigger = annotated.trace.instruction(epoch.trigger)
+        print(
+            f"\nepoch {epoch.index}: {epoch.accesses} accesses,"
+            f" trigger={epoch.trigger_kind} @ i{epoch.trigger},"
+            f" ended by {epoch.inhibitor.value}"
+        )
+        print(f"  trigger: {trigger}")
+        members = epoch.members or []
+        shown = members[: args.members]
+        for index in shown:
+            marks = []
+            if annotated.dmiss[index]:
+                marks.append("Dmiss")
+            if annotated.imiss[index]:
+                marks.append("Imiss")
+            if annotated.mispred[index]:
+                marks.append("Mispred")
+            suffix = f"   <- {', '.join(marks)}" if marks else ""
+            print(f"    i{index}: {annotated.trace.instruction(index)}{suffix}")
+        if len(members) > len(shown):
+            print(f"    ... and {len(members) - len(shown)} more")
+    return 0
+
+
+def cmd_report(args):
+    """``repro report``: write the full machine-generated markdown report."""
+    import os
+
+    from repro.experiments.report import write_report
+
+    if args.length:
+        os.environ["REPRO_TRACE_LEN"] = str(args.length)
+    write_report(
+        args.output,
+        exhibit_names=args.names or None,
+        include_ablations=args.ablations,
+        progress=lambda name: print(f"  done: {name}"),
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser():
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MLP / epoch-model reproduction of Chou et al., ISCA 2004",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesise a workload trace")
+    p.add_argument("workload")
+    p.add_argument("-n", "--length", type=int, default=120_000)
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("stats", help="trace statistics and miss clustering")
+    _add_trace_arguments(p, require_workload=False)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("calibrate", help="compare against paper targets")
+    _add_trace_arguments(p, require_workload=False)
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser("simulate", help="run MLPsim over a workload/trace")
+    _add_trace_arguments(p, require_workload=False)
+    p.add_argument(
+        "-m", "--machine", action="append",
+        help="machine spec, e.g. 64C, 64D/rob256, RAE,"
+        " 64C:store_buffer=8 (repeatable)",
+    )
+    p.add_argument(
+        "--in-order", choices=["stall-on-miss", "stall-on-use", "both"],
+        help="also run an in-order machine",
+    )
+    p.add_argument("--inhibitors", action="store_true",
+                   help="print the Figure 5 inhibitor breakdown")
+    p.add_argument("--store-mlp", action="store_true",
+                   help="print store MLP when stores left the chip")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("cyclesim", help="run the cycle-accurate simulator")
+    _add_trace_arguments(p, require_workload=False)
+    p.add_argument("-m", "--machine", action="append")
+    p.add_argument("--latency", type=int, default=1000)
+    p.add_argument("--perfect-l2", action="store_true")
+    p.add_argument("--stack", action="store_true",
+                   help="print the CPI stack (per-category cycle attribution)")
+    p.set_defaults(func=cmd_cyclesim)
+
+    p = sub.add_parser("exhibit", help="regenerate paper tables/figures")
+    p.add_argument("names", nargs="*", help="exhibit names (default: all)")
+    p.add_argument("-n", "--length", type=int,
+                   help="trace length (sets REPRO_TRACE_LEN)")
+    p.set_defaults(func=cmd_exhibit)
+
+    p = sub.add_parser("inspect", help="print the first epochs of a run")
+    _add_trace_arguments(p, require_workload=False)
+    p.add_argument("-m", "--machine", action="append",
+                   help="machine spec (default 64C; first one is used)")
+    p.add_argument("--epochs", type=int, default=8,
+                   help="how many epochs to print")
+    p.add_argument("--members", type=int, default=12,
+                   help="epoch-set members to print per epoch")
+    p.add_argument("--window", type=int, default=4000,
+                   help="measured instructions to simulate")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("report", help="write a full markdown report")
+    p.add_argument("names", nargs="*", help="exhibit names (default: all)")
+    p.add_argument("-o", "--output", default="REPORT.md")
+    p.add_argument("--ablations", action="store_true",
+                   help="include the ablation studies")
+    p.add_argument("-n", "--length", type=int,
+                   help="trace length (sets REPRO_TRACE_LEN)")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("ablation", help="run ablation studies")
+    p.add_argument("names", nargs="*", help="ablation names (default: all)")
+    p.add_argument("-n", "--length", type=int,
+                   help="trace length (sets REPRO_TRACE_LEN)")
+    p.set_defaults(func=cmd_ablation)
+
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if (
+        args.command in ("stats", "calibrate", "simulate", "cyclesim",
+                         "inspect")
+        and not args.workload
+        and not args.trace
+    ):
+        parser.error("provide a workload name or --trace FILE")
+    try:
+        return args.func(args)
+    except ValueError as error:
+        parser.exit(2, f"error: {error}\n")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

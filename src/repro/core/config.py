@@ -1,0 +1,220 @@
+"""Machine configuration: issue constraints and window geometry.
+
+:class:`IssueConfig` encodes Table 2 of the paper — the five
+progressively more aggressive issue-constraint configurations A-E —
+as three orthogonal policies:
+
+=========  =============================================  ============  =================
+Config     Load issue (w.r.t. other loads/stores)         Branch issue  Serializing insts
+=========  =============================================  ============  =================
+A          in-order                                       in-order      serializing
+B          out-of-order, wait for earlier store addrs     in-order      serializing
+C          out-of-order, speculate past earlier stores    in-order      serializing
+D          out-of-order, speculate past earlier stores    out-of-order  serializing
+E          out-of-order, speculate past earlier stores    out-of-order  non-serializing
+=========  =============================================  ============  =================
+
+:class:`MachineConfig` adds the structure sizes (fetch buffer, issue
+window, reorder buffer — the three structures MLPsim models), runahead
+execution, value prediction, and the perfect-frontend switches of the
+limit study.
+"""
+
+import dataclasses
+import enum
+
+
+class LoadPolicy(enum.Enum):
+    """Load issue policy w.r.t. other loads and stores (Section 3.4.1)."""
+
+    IN_ORDER = "in-order"
+    WAIT_STORE_ADDR = "wait-store-addr"
+    SPECULATIVE = "speculative"
+
+
+class BranchPolicy(enum.Enum):
+    """Branch issue policy w.r.t. other branches (Section 3.4.2)."""
+
+    IN_ORDER = "in-order"
+    OUT_OF_ORDER = "out-of-order"
+
+
+class SerializePolicy(enum.Enum):
+    """Whether CASA/LDSTUB/MEMBAR drain the pipeline (Section 3.2.2)."""
+
+    SERIALIZING = "serializing"
+    NON_SERIALIZING = "non-serializing"
+
+
+@dataclasses.dataclass(frozen=True)
+class IssueConfig:
+    """One of the issue-constraint configurations of Table 2."""
+
+    name: str
+    load_policy: LoadPolicy
+    branch_policy: BranchPolicy
+    serialize_policy: SerializePolicy
+
+    @classmethod
+    def from_letter(cls, letter):
+        """Return the Table 2 configuration named by *letter* (``"A"``-``"E"``)."""
+        try:
+            return _TABLE2[letter.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown issue configuration {letter!r}; expected A-E"
+            ) from None
+
+    @classmethod
+    def all(cls):
+        """Return configurations A through E, in order."""
+        return tuple(_TABLE2.values())
+
+
+_TABLE2 = {
+    "A": IssueConfig(
+        "A", LoadPolicy.IN_ORDER, BranchPolicy.IN_ORDER, SerializePolicy.SERIALIZING
+    ),
+    "B": IssueConfig(
+        "B",
+        LoadPolicy.WAIT_STORE_ADDR,
+        BranchPolicy.IN_ORDER,
+        SerializePolicy.SERIALIZING,
+    ),
+    "C": IssueConfig(
+        "C",
+        LoadPolicy.SPECULATIVE,
+        BranchPolicy.IN_ORDER,
+        SerializePolicy.SERIALIZING,
+    ),
+    "D": IssueConfig(
+        "D",
+        LoadPolicy.SPECULATIVE,
+        BranchPolicy.OUT_OF_ORDER,
+        SerializePolicy.SERIALIZING,
+    ),
+    "E": IssueConfig(
+        "E",
+        LoadPolicy.SPECULATIVE,
+        BranchPolicy.OUT_OF_ORDER,
+        SerializePolicy.NON_SERIALIZING,
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineConfig:
+    """Full machine description consumed by MLPsim.
+
+    The paper's default machine (Section 5.1) is ``MachineConfig()``:
+    32-entry fetch buffer, 64-entry issue window, 64-entry ROB, issue
+    configuration C.
+    """
+
+    issue: IssueConfig = _TABLE2["C"]
+    issue_window: int = 64
+    rob: int = 64
+    fetch_buffer: int = 32
+    runahead: bool = False
+    max_runahead: int = 2048
+    value_prediction: bool = False
+    perfect_ifetch: bool = False
+    perfect_branch: bool = False
+    perfect_value: bool = False
+
+    max_outstanding: int = None
+    """MSHR file size: maximum off-chip accesses in flight per epoch
+    (None = unbounded, the paper's implicit assumption)."""
+
+    store_buffer: int = None
+    """Store-buffer entries: maximum missing stores in flight per epoch
+    (None = infinite, the paper's Section 3 assumption; finite values
+    implement the "store MLP" future work of Section 7)."""
+
+    slow_branch_predictor: bool = False
+    """Enable the Section 3.2.4 extension: a slow second-level predictor
+    consulted only for unresolvable mispredicted branches (its latency
+    is hidden by the off-chip access it races)."""
+
+    slow_bp_accuracy: float = 0.85
+    """Accuracy of the slow unresolvable-branch predictor."""
+
+    def __post_init__(self):
+        if self.issue_window <= 0 or self.rob <= 0 or self.fetch_buffer < 0:
+            raise ValueError("structure sizes must be positive")
+        if self.rob < self.issue_window:
+            raise ValueError(
+                "the ROB cannot be smaller than the issue window"
+                f" (rob={self.rob}, issue_window={self.issue_window})"
+            )
+        if self.max_runahead <= 0:
+            raise ValueError("max_runahead must be positive")
+        if self.max_outstanding is not None and self.max_outstanding <= 0:
+            raise ValueError("max_outstanding must be positive or None")
+        if self.store_buffer is not None and self.store_buffer < 0:
+            raise ValueError("store_buffer must be non-negative or None")
+        if not 0.0 <= self.slow_bp_accuracy <= 1.0:
+            raise ValueError("slow_bp_accuracy must be a probability")
+
+    @classmethod
+    def named(cls, label, **overrides):
+        """Build a machine from a paper-style label like ``"64C"``.
+
+        The number is both the issue window and ROB size; the letter is
+        the Table 2 issue configuration.  Keyword *overrides* adjust any
+        other field (e.g. ``rob=256`` for the decoupled configurations of
+        Figure 6).
+        """
+        letter = label[-1]
+        size = int(label[:-1])
+        fields = {
+            "issue": IssueConfig.from_letter(letter),
+            "issue_window": size,
+            "rob": size,
+        }
+        fields.update(overrides)
+        return cls(**fields)
+
+    @classmethod
+    def runahead_machine(cls, max_runahead=2048, **overrides):
+        """The paper's runahead machine (Section 5.4.1, Figure 8).
+
+        Runahead behaves like a very large single-use window with the
+        serializing constraint removed, so the underlying issue
+        configuration barely matters; the paper pairs it with config D
+        64-entry machines.
+        """
+        fields = {
+            "issue": _TABLE2["D"],
+            "runahead": True,
+            "max_runahead": max_runahead,
+        }
+        fields.update(overrides)
+        return cls(**fields)
+
+    @property
+    def label(self):
+        """Short paper-style label for reports."""
+        base = f"{self.issue_window}{self.issue.name}"
+        if self.rob != self.issue_window:
+            base += f"/rob{self.rob}"
+        if self.runahead:
+            base = f"RAE({self.max_runahead})"
+        extras = []
+        if self.max_outstanding is not None:
+            extras.append(f"mshr{self.max_outstanding}")
+        if self.store_buffer is not None:
+            extras.append(f"sb{self.store_buffer}")
+        if self.slow_branch_predictor:
+            extras.append(f"slowBP{self.slow_bp_accuracy:.0%}")
+        if self.value_prediction:
+            extras.append("VP")
+        if self.perfect_ifetch:
+            extras.append("perfI")
+        if self.perfect_branch:
+            extras.append("perfBP")
+        if self.perfect_value:
+            extras.append("perfVP")
+        if extras:
+            base += "." + ".".join(extras)
+        return base

@@ -1,0 +1,69 @@
+"""Epoch records.
+
+An epoch (Section 3.1) is a slice of execution from the end of the
+previous epoch through its first off-chip access (the *epoch trigger*)
+to the cycle that access completes.  All overlappable off-chip accesses
+inside it issue and complete together; the *epoch set* is the set of
+dynamic instructions that execute in it.
+"""
+
+import dataclasses
+import typing
+
+from repro.core.termination import Inhibitor
+
+
+class TriggerKind:
+    """What kind of off-chip access triggered the epoch."""
+
+    DMISS = "dmiss"
+    IMISS = "imiss"
+    PMISS = "pmiss"
+
+
+@dataclasses.dataclass
+class Epoch:
+    """One epoch of execution.
+
+    ``accesses`` counts the useful off-chip accesses that issued in the
+    epoch; MLP is ``sum(accesses) / len(epochs)``.  ``members`` (the
+    epoch set) is recorded only when the simulator is asked to, because
+    it is large.
+    """
+
+    index: int
+    trigger: int
+    trigger_kind: str
+    accesses: int
+    inhibitor: Inhibitor
+    members: typing.Optional[list] = None
+
+    def __post_init__(self):
+        if self.accesses < 1:
+            raise ValueError("an epoch contains at least one off-chip access")
+
+    def __repr__(self):
+        body = (
+            f"Epoch(#{self.index}, trigger=i{self.trigger}"
+            f" ({self.trigger_kind}), accesses={self.accesses},"
+            f" inhibitor={self.inhibitor.value})"
+        )
+        if self.members is not None:
+            body = body[:-1] + f", members={self.members})"
+        return body
+
+
+def epoch_sets(epochs):
+    """Return the epoch sets as a list of member lists.
+
+    Only valid when the simulator recorded members.
+    """
+    sets = []
+    for epoch in epochs:
+        if epoch.members is None:
+            raise ValueError(
+                "epoch sets were not recorded; run the simulator with"
+                " record_sets=True"
+            )
+        sets.append(list(epoch.members))
+    return sets

@@ -1,0 +1,69 @@
+"""Result record produced by every MLP simulation."""
+
+import dataclasses
+import typing
+
+from repro.core.termination import InhibitorCounts
+
+
+@dataclasses.dataclass
+class MLPResult:
+    """Outcome of one MLPsim run.
+
+    ``mlp`` is the paper's average MLP: useful off-chip accesses divided
+    by the number of epochs (an epoch exists only around at least one
+    outstanding access, so this equals averaging MLP(t) over non-zero
+    cycles under the epoch model's equal-time-per-epoch assumption).
+    """
+
+    workload: str
+    machine_label: str
+    instructions: int
+    accesses: int
+    epochs: int
+    dmiss_accesses: int
+    imiss_accesses: int
+    prefetch_accesses: int
+    inhibitors: InhibitorCounts
+    epoch_records: typing.Optional[list] = None
+    store_accesses: int = 0
+    store_epochs: int = 0
+
+    @property
+    def mlp(self):
+        if not self.epochs:
+            return 0.0
+        return self.accesses / self.epochs
+
+    @property
+    def store_mlp(self):
+        """Average overlapped off-chip *store* traffic per store epoch.
+
+        The paper's Section 7 names "store MLP for applications where a
+        finite store buffer limits performance" as future work; this is
+        that metric: off-chip stores divided by the number of epochs
+        that issued at least one (0.0 when stores never left the chip
+        or the machine did not model them).
+        """
+        if not self.store_epochs:
+            return 0.0
+        return self.store_accesses / self.store_epochs
+
+    @property
+    def miss_rate_per_100(self):
+        """Useful off-chip accesses per 100 simulated instructions."""
+        if not self.instructions:
+            return 0.0
+        return 100.0 * self.accesses / self.instructions
+
+    def summary(self):
+        """One-line human-readable summary."""
+        return (
+            f"{self.workload:<12} {self.machine_label:<16}"
+            f" MLP={self.mlp:5.3f}  ({self.accesses} accesses /"
+            f" {self.epochs} epochs, {self.instructions} insts)"
+        )
+
+    def inhibitor_breakdown(self):
+        """Figure 5-style fractions, keyed by inhibitor."""
+        return self.inhibitors.fractions()

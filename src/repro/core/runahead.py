@@ -1,0 +1,311 @@
+"""Runahead execution under the epoch model (paper Sections 3.5 / 5.4.1).
+
+When the missing-load epoch trigger reaches the head of the ROB, a
+runahead machine checkpoints architectural state and keeps executing
+speculatively: missing loads turn into prefetches, their dependents are
+poisoned and skipped, stores do not update architectural state, and
+serializing instructions impose no constraint (runahead is purely
+speculative).  When the trigger's data returns the pipeline is flushed
+and execution restarts after the trigger — with every line prefetched
+during the runahead period now on chip.
+
+Under the epoch model a runahead epoch therefore extends from its
+trigger for up to ``max_runahead`` instructions and issues an off-chip
+access for every reachable (non-poisoned) miss in that range.  The only
+remaining window terminators are instruction-fetch misses and
+mispredicted branches whose condition is poisoned — exactly the two
+conditions the paper says runahead cannot remove.
+
+Between epochs the machine executes architecturally with nothing
+outstanding, so normal mode skips from off-chip event to off-chip
+event.  Extension knobs: a finite MSHR file caps the accesses one
+runahead period can launch, and the slow unresolvable-branch predictor
+of Section 3.2.4 rescues a configurable fraction of poisoned
+mispredicted branches.  (Finite store buffers are modeled only on the
+conventional engine: runahead stores never leave the speculative
+domain.)  A miss whose line was prefetched by an earlier runahead period
+is *serviced* (its event flag is cleared) and does not miss again when
+re-executed after the flush.
+"""
+
+from bisect import bisect_right
+
+from repro.core.depgraph import depgraph_for
+from repro.core.epoch import Epoch, TriggerKind
+from repro.core.mlpsim import event_masks, resolve_region
+from repro.core.results import MLPResult
+from repro.core.termination import Inhibitor, InhibitorCounts
+from repro.isa.opclass import OpClass
+
+
+def simulate_runahead(annotated, machine, start=None, stop=None,
+                      workload=None, record_sets=False):
+    """Simulate a runahead machine; see :func:`repro.core.mlpsim.simulate`."""
+    trace = annotated.trace
+    start, stop = resolve_region(annotated, start, stop)
+    n = stop - start
+
+    dmiss, imiss, mispred, pmiss, pfuseful, vp_ok = event_masks(
+        annotated, machine, start, stop
+    )
+
+    graph = depgraph_for(annotated, start, stop)
+    prod1 = graph.prod1
+    prod2 = graph.prod2
+    prod3 = graph.prod3
+    memdep = graph.memdep
+
+    ops = trace.op[start:stop].tolist()
+
+    ALU = int(OpClass.ALU)
+    LOAD = int(OpClass.LOAD)
+    STORE = int(OpClass.STORE)
+    BRANCH = int(OpClass.BRANCH)
+    PREFETCH = int(OpClass.PREFETCH)
+    CAS = int(OpClass.CAS)
+    LDSTUB = int(OpClass.LDSTUB)
+    max_runahead = machine.max_runahead
+    mshr_cap = machine.max_outstanding or (1 << 30)
+    slow_bp = machine.slow_branch_predictor
+    slow_bp_threshold = int(machine.slow_bp_accuracy * 1024)
+
+    def slow_bp_saves(j):
+        """Deterministic per-instance outcome of the slow unresolvable-
+        branch predictor (the Section 3.2.4 extension)."""
+        return slow_bp and ((j * 2654435761) >> 7) % 1024 < slow_bp_threshold
+
+    # Positions of every potential off-chip event, for normal-mode skipping.
+    # Event flags (dmiss/imiss/pmiss) are cleared as accesses are serviced.
+    event_positions = [
+        i
+        for i in range(n)
+        if dmiss[i] or imiss[i] or (pmiss[i] and pfuseful[i])
+    ]
+
+    pending_pf = []  # useful off-chip prefetches awaiting an epoch to join
+
+    epochs_recorded = 0
+    total_accesses = 0
+    dmiss_accesses = 0
+    imiss_accesses = 0
+    prefetch_accesses = 0
+    inhibitors = InhibitorCounts()
+    epoch_records = [] if record_sets else None
+
+    def record_epoch(trigger, kind, accesses, n_d, n_i, n_p, inhibitor,
+                     members):
+        nonlocal epochs_recorded, total_accesses
+        nonlocal dmiss_accesses, imiss_accesses, prefetch_accesses
+        epochs_recorded += 1
+        total_accesses += accesses
+        dmiss_accesses += n_d
+        imiss_accesses += n_i
+        prefetch_accesses += n_p
+        inhibitors.record(inhibitor)
+        if record_sets:
+            epoch_records.append(
+                Epoch(
+                    index=epochs_recorded - 1,
+                    trigger=trigger + start,
+                    trigger_kind=kind,
+                    accesses=accesses,
+                    inhibitor=inhibitor,
+                    members=[m + start for m in members]
+                    if members is not None
+                    else None,
+                )
+            )
+
+    def flush_stale_prefetches(horizon):
+        """Emit prefetch-only epochs for pending prefetches that are more
+        than a runahead window older than *horizon*; return the rest."""
+        fresh = []
+        group = []
+        for idx in pending_pf:
+            if idx >= horizon - max_runahead:
+                fresh.append(idx)
+            elif group and idx - group[0] >= max_runahead:
+                record_epoch(
+                    group[0], TriggerKind.PMISS, len(group), 0, 0,
+                    len(group), Inhibitor.RUNAHEAD_LIMIT, list(group),
+                )
+                group = [idx]
+            else:
+                group.append(idx)
+        if group:
+            record_epoch(
+                group[0], TriggerKind.PMISS, len(group), 0, 0, len(group),
+                Inhibitor.RUNAHEAD_LIMIT, list(group),
+            )
+        return fresh
+
+    fetch_pos = 0
+    while True:
+        # ---- normal mode: skip to the next live off-chip event -----------
+        ptr = bisect_right(event_positions, fetch_pos - 1)
+        i = None
+        while ptr < len(event_positions):
+            candidate = event_positions[ptr]
+            if (
+                imiss[candidate]
+                or dmiss[candidate]
+                or (pmiss[candidate] and pfuseful[candidate])
+            ):
+                i = candidate
+                break
+            ptr += 1
+        if i is None:
+            break  # no further events: the tail is pure on-chip execution
+
+        if imiss[i]:
+            # Fetch is blocking: a missing instruction fetch cannot be
+            # run ahead of.  It forms its own epoch (plus any prefetches
+            # still in flight).
+            imiss[i] = False
+            pending = flush_stale_prefetches(i)
+            pending_pf.clear()
+            record_epoch(
+                i, TriggerKind.IMISS, 1 + len(pending), 0, 1, len(pending),
+                Inhibitor.IMISS_START, [i] + pending,
+            )
+            fetch_pos = i  # the instruction itself executes after the fetch
+            continue
+
+        if pmiss[i]:
+            # A useful off-chip software prefetch does not stall; it joins
+            # the next epoch if one begins within a runahead window.
+            pmiss[i] = False
+            pending_pf.append(i)
+            fetch_pos = i + 1
+            continue
+
+        # ---- runahead epoch, triggered by the missing load at i ----------
+        dmiss[i] = False
+        pending = flush_stale_prefetches(i)
+        pending_pf.clear()
+        accesses = 1 + len(pending)
+        n_d, n_i, n_p = 1, 0, len(pending)
+        members = [i] + pending if record_sets else None
+        inhibitor = None
+        poisoned = set()
+        # Value-predicted results are usable for dataflow but remain
+        # unvalidated until the real data returns: a mispredicted branch
+        # computed from them still cannot redirect fetch (this is why
+        # perfect VP and perfect BP compose in Figure 10).
+        unvalidated = set()
+        dead_stores = set()  # skipped stores and stores of wrong data
+        if vp_ok[i]:
+            unvalidated.add(i)
+        else:
+            poisoned.add(i)
+
+        j = i + 1
+        limit = min(n, i + max_runahead)
+        while j < limit:
+            if imiss[j]:
+                if accesses >= mshr_cap:
+                    # No MSHR for the line fetch: runahead stalls here
+                    # and the fetch miss waits for the next epoch.
+                    inhibitor = Inhibitor.MSHR_LIMIT
+                    break
+                imiss[j] = False
+                accesses += 1
+                n_i += 1
+                if members is not None:
+                    members.append(j)
+                inhibitor = Inhibitor.IMISS_END
+                break
+
+            op = ops[j]
+            if op == ALU:
+                p1, p2 = prod1[j], prod2[j]
+                if (p1 >= i and p1 in poisoned) or (p2 >= i and p2 in poisoned):
+                    poisoned.add(j)
+            elif op == LOAD or op == CAS or op == LDSTUB:
+                p1, p2 = prod1[j], prod2[j]
+                addr_poisoned = (p1 >= i and p1 in poisoned) or (
+                    p2 >= i and p2 in poisoned
+                )
+                if addr_poisoned:
+                    poisoned.add(j)
+                    if op != LOAD:
+                        dead_stores.add(j)
+                else:
+                    m = memdep[j]
+                    stale = m >= i and (m in dead_stores or m in poisoned)
+                    if dmiss[j] and accesses < mshr_cap:
+                        dmiss[j] = False
+                        accesses += 1
+                        n_d += 1
+                        if members is not None:
+                            members.append(j)
+                        if vp_ok[j]:
+                            unvalidated.add(j)
+                        else:
+                            poisoned.add(j)
+                    elif dmiss[j]:
+                        # MSHRs full: the miss cannot be prefetched; it
+                        # stays live and triggers a later epoch.
+                        poisoned.add(j)
+                        if op != LOAD:
+                            dead_stores.add(j)
+                    elif stale:
+                        poisoned.add(j)
+                    if op != LOAD:
+                        p3 = prod3[j]
+                        if p3 >= i and p3 in poisoned:
+                            dead_stores.add(j)
+            elif op == STORE:
+                p1, p2, p3 = prod1[j], prod2[j], prod3[j]
+                if (
+                    (p1 >= i and p1 in poisoned)
+                    or (p2 >= i and p2 in poisoned)
+                    or (p3 >= i and p3 in poisoned)
+                ):
+                    dead_stores.add(j)
+            elif op == BRANCH:
+                p1, p2 = prod1[j], prod2[j]
+                unsettled = (
+                    (p1 >= i and (p1 in poisoned or p1 in unvalidated))
+                    or (p2 >= i and (p2 in poisoned or p2 in unvalidated))
+                )
+                if unsettled and mispred[j] and not slow_bp_saves(j):
+                    inhibitor = Inhibitor.MISPRED_BR
+                    break
+            elif op == PREFETCH:
+                p1 = prod1[j]
+                if not (p1 >= i and p1 in poisoned):
+                    if pmiss[j] and pfuseful[j] and accesses < mshr_cap:
+                        pmiss[j] = False
+                        accesses += 1
+                        n_p += 1
+                        if members is not None:
+                            members.append(j)
+            # MEMBAR: no constraint during runahead (purely speculative).
+            j += 1
+
+        if inhibitor is None:
+            if j >= n:
+                inhibitor = Inhibitor.END_OF_TRACE
+            else:
+                inhibitor = Inhibitor.RUNAHEAD_LIMIT
+
+        record_epoch(
+            i, TriggerKind.DMISS, accesses, n_d, n_i, n_p, inhibitor, members
+        )
+        fetch_pos = i + 1  # flush and restart after the trigger
+
+    flush_stale_prefetches(n + 2 * max_runahead)
+
+    return MLPResult(
+        workload=workload or trace.name,
+        machine_label=machine.label,
+        instructions=n,
+        accesses=total_accesses,
+        epochs=epochs_recorded,
+        dmiss_accesses=dmiss_accesses,
+        imiss_accesses=imiss_accesses,
+        prefetch_accesses=prefetch_accesses,
+        inhibitors=inhibitors,
+        epoch_records=epoch_records,
+    )

@@ -1,0 +1,241 @@
+"""Multithreaded MLP (the paper's Section 7 future work).
+
+The paper's closing section names "studying MLP for multithreaded
+processors" as future work.  This module implements the natural epoch-
+model extension: each hardware thread is an alternating sequence of
+on-chip compute phases and memory epochs (from a per-thread MLPsim run),
+and the threads share one core.
+
+Model
+-----
+* A thread's behaviour is summarised as a list of
+  ``(compute_instructions, accesses)`` pairs — the on-chip work leading
+  up to each epoch trigger, and the off-chip accesses the epoch
+  overlaps — extracted from an MLPsim run with epoch records.
+* Compute phases share the core's issue bandwidth: with *k* threads
+  simultaneously computing, each proceeds at ``ipc / k`` (a round-robin
+  SMT approximation).  Memory epochs cost one full off-chip latency and
+  overlap freely across threads — stalled threads consume no pipeline
+  resources, which is exactly why multithreading is an MLP lever.
+* The simulation is event-driven over phase boundaries; aggregate
+  MLP(t) integrates the total outstanding accesses across threads, as
+  in Section 2.1 but for the whole core.
+
+Outputs: aggregate core MLP, per-thread completion times, and the
+memory-overlap speedup versus running the threads back to back.
+"""
+
+import dataclasses
+
+from repro.core.config import MachineConfig
+from repro.core.mlpsim import simulate
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreadProfile:
+    """One thread's alternating compute/epoch behaviour."""
+
+    name: str
+    phases: tuple  # ((compute_instructions, accesses), ...)
+    tail_instructions: int = 0  # compute after the last epoch
+
+    @property
+    def total_accesses(self):
+        return sum(accesses for _, accesses in self.phases)
+
+    @property
+    def total_instructions(self):
+        return (
+            sum(insts for insts, _ in self.phases) + self.tail_instructions
+        )
+
+
+def profile_from_result(result, region_start=None, workload=None):
+    """Summarise an MLPsim run (with epoch records) as a ThreadProfile.
+
+    The compute work charged to each epoch is the program-order distance
+    from the previous epoch's trigger — the on-chip instructions the
+    thread retires between misses.
+    """
+    if result.epoch_records is None:
+        raise ValueError(
+            "profile_from_result needs epoch records; run MLPsim with"
+            " record_sets=True"
+        )
+    if region_start is None:
+        region_start = (
+            result.epoch_records[0].trigger if result.epoch_records else 0
+        )
+    phases = []
+    previous = region_start
+    for epoch in result.epoch_records:
+        compute = max(0, epoch.trigger - previous)
+        phases.append((compute, epoch.accesses))
+        previous = epoch.trigger
+    tail = max(0, result.instructions - (previous - region_start))
+    return ThreadProfile(
+        name=workload or result.workload,
+        phases=tuple(phases),
+        tail_instructions=tail,
+    )
+
+
+def profile_workload(annotated, machine=None, workload=None):
+    """Run MLPsim over *annotated* and profile it for SMT composition."""
+    machine = machine or MachineConfig()
+    result = simulate(annotated, machine, record_sets=True)
+    start, _ = annotated.measured_region()
+    return profile_from_result(result, region_start=start, workload=workload)
+
+
+@dataclasses.dataclass
+class SMTResult:
+    """Outcome of one multithreaded composition."""
+
+    threads: int
+    cycles: float
+    accesses: int
+    nonzero_cycles: float
+    outstanding_integral: float
+    thread_finish: dict  # name -> cycle
+    serial_cycles: float  # the same threads run back to back
+
+    @property
+    def mlp(self):
+        """Aggregate core MLP(t) averaged over non-zero cycles."""
+        if not self.nonzero_cycles:
+            return 0.0
+        return self.outstanding_integral / self.nonzero_cycles
+
+    @property
+    def speedup_vs_serial(self):
+        """Throughput gain over running the threads consecutively."""
+        if not self.cycles:
+            return 0.0
+        return self.serial_cycles / self.cycles - 1.0
+
+    def summary(self):
+        """One-line MLP/throughput rendering."""
+        return (
+            f"SMT x{self.threads}: MLP={self.mlp:5.3f}"
+            f"  {self.accesses} accesses in {self.cycles:.0f} cycles"
+            f"  ({self.speedup_vs_serial:+.0%} vs back-to-back)"
+        )
+
+
+def _serial_cycles(profiles, ipc, latency):
+    total = 0.0
+    for profile in profiles:
+        for compute, _ in profile.phases:
+            total += compute / ipc + latency
+        total += profile.tail_instructions / ipc
+    return total
+
+
+def simulate_smt(profiles, ipc=2.0, latency=1000):
+    """Compose *profiles* onto one SMT core; return an :class:`SMTResult`.
+
+    Parameters
+    ----------
+    profiles:
+        Per-thread :class:`ThreadProfile` objects.
+    ipc:
+        The core's on-chip IPC when a single thread computes; *k*
+        computing threads each get ``ipc / k``.
+    latency:
+        Off-chip access latency in cycles (every epoch costs one).
+    """
+    if not profiles:
+        raise ValueError("simulate_smt needs at least one thread")
+    if ipc <= 0 or latency <= 0:
+        raise ValueError("ipc and latency must be positive")
+
+    # Thread state: remaining phase list, instructions left in the
+    # current compute phase, or the cycle its epoch completes.
+    COMPUTING, STALLED, DONE = 0, 1, 2
+    state = []
+    for profile in profiles:
+        phases = list(profile.phases) + [(profile.tail_instructions, 0)]
+        compute, accesses = phases[0]
+        state.append(
+            {
+                "profile": profile,
+                "phases": phases,
+                "index": 0,
+                "mode": COMPUTING,
+                "left": float(compute),
+                "wake": 0.0,
+            }
+        )
+
+    now = 0.0
+    outstanding = 0
+    integral = 0.0
+    nonzero = 0.0
+    finish = {}
+    EPS = 1e-9
+
+    while True:
+        computing = [t for t in state if t["mode"] == COMPUTING]
+        stalled = [t for t in state if t["mode"] == STALLED]
+        if not computing and not stalled:
+            break
+
+        # Next event: the earliest epoch completion, or the earliest
+        # compute-phase completion at the shared rate.
+        candidates = []
+        if stalled:
+            candidates.append(min(t["wake"] for t in stalled))
+        if computing:
+            rate = ipc / len(computing)
+            candidates.append(now + min(t["left"] for t in computing) / rate)
+        next_time = max(now, min(candidates))
+        span = next_time - now
+
+        if span > 0:
+            if outstanding > 0:
+                integral += span * outstanding
+                nonzero += span
+            if computing:
+                progressed = span * ipc / len(computing)
+                for t in computing:
+                    t["left"] -= progressed
+            now = next_time
+
+        # Transition threads at their boundaries; loop until stable so
+        # zero-length compute phases (back-to-back epochs) cascade.
+        changed = True
+        while changed:
+            changed = False
+            for t in state:
+                if t["mode"] == STALLED and t["wake"] <= now + EPS:
+                    outstanding -= t["phases"][t["index"]][1]
+                    t["index"] += 1
+                    if t["index"] < len(t["phases"]):
+                        t["mode"] = COMPUTING
+                        t["left"] = float(t["phases"][t["index"]][0])
+                    else:
+                        t["mode"] = DONE
+                        finish[t["profile"].name] = now
+                    changed = True
+                elif t["mode"] == COMPUTING and t["left"] <= EPS:
+                    accesses = t["phases"][t["index"]][1]
+                    if accesses > 0:
+                        t["mode"] = STALLED
+                        t["wake"] = now + latency
+                        outstanding += accesses
+                    else:
+                        # The zero-access tail phase: thread finished.
+                        t["mode"] = DONE
+                        finish[t["profile"].name] = now
+                    changed = True
+
+    return SMTResult(
+        threads=len(profiles),
+        cycles=now,
+        accesses=sum(p.total_accesses for p in profiles),
+        nonzero_cycles=nonzero,
+        outstanding_integral=integral,
+        thread_finish=finish,
+        serial_cycles=_serial_cycles(profiles, ipc, latency),
+    )

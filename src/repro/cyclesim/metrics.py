@@ -1,0 +1,124 @@
+"""Measurement machinery of the cycle simulator.
+
+MLP is measured exactly as the paper defines it (Section 2.1): MLP(t)
+is the number of useful off-chip accesses outstanding at cycle t, and
+average MLP is MLP(t) averaged over the cycles where it is non-zero.
+The simulator reports changes to the outstanding count as they happen;
+the accumulator integrates counts over the intervals between changes.
+"""
+
+import dataclasses
+
+#: CPI-stack categories, in display order.
+STALL_CATEGORIES = (
+    "commit",   # cycles that retired at least one instruction
+    "memory",   # ROB head waiting on off-chip (or cache) data
+    "ifetch",   # fetch blocked on an instruction miss, pipeline empty
+    "branch",   # fetch waiting for a mispredicted branch to resolve
+    "drain",    # serializing-instruction pipeline drain
+    "backend",  # ROB head dispatched but not yet complete (exec/deps)
+    "frontend", # pipeline fill: nothing in the ROB, fetch running
+)
+
+
+@dataclasses.dataclass
+class CycleMetrics:
+    """Results of one cycle-simulator run."""
+
+    workload: str
+    label: str
+    instructions: int = 0
+    cycles: int = 0
+    offchip_accesses: int = 0
+    dmiss_accesses: int = 0
+    imiss_accesses: int = 0
+    prefetch_accesses: int = 0
+    nonzero_cycles: int = 0
+    outstanding_integral: int = 0
+    stall_cycles: dict = dataclasses.field(
+        default_factory=lambda: {c: 0 for c in STALL_CATEGORIES}
+    )
+
+    @property
+    def cpi(self):
+        if not self.instructions:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def ipc(self):
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def mlp(self):
+        """Average MLP(t) over cycles with at least one access in flight."""
+        if not self.nonzero_cycles:
+            return 0.0
+        return self.outstanding_integral / self.nonzero_cycles
+
+    @property
+    def miss_rate_per_100(self):
+        if not self.instructions:
+            return 0.0
+        return 100.0 * self.offchip_accesses / self.instructions
+
+    def summary(self):
+        """One-line CPI/MLP rendering."""
+        return (
+            f"{self.workload:<12} {self.label:<10} CPI={self.cpi:6.3f}"
+            f"  MLP={self.mlp:5.3f}  ({self.offchip_accesses} accesses,"
+            f" {self.cycles} cycles / {self.instructions} insts)"
+        )
+
+    def cpi_stack(self):
+        """CPI attributed per stall category (a classic CPI stack).
+
+        Categories sum to the overall CPI (every cycle is charged to
+        exactly one).  ``commit`` covers cycles that retired work; the
+        rest name what the retirement stage was waiting for.
+        """
+        if not self.instructions:
+            return {c: 0.0 for c in STALL_CATEGORIES}
+        return {
+            c: self.stall_cycles.get(c, 0) / self.instructions
+            for c in STALL_CATEGORIES
+        }
+
+    def format_cpi_stack(self):
+        """One-line per-category CPI rendering (non-trivial terms only)."""
+        stack = self.cpi_stack()
+        parts = [f"{c}={v:.3f}" for c, v in stack.items() if v > 0.0005]
+        return f"CPI {self.cpi:.3f} = " + " + ".join(parts)
+
+
+class OutstandingTracker:
+    """Integrates the outstanding-access count over time.
+
+    ``advance(now)`` must be called (with non-decreasing ``now``) before
+    each change to the outstanding count; it accumulates the elapsed
+    interval at the previous count.
+    """
+
+    def __init__(self):
+        self.count = 0
+        self._last_time = 0
+        self.nonzero_cycles = 0
+        self.integral = 0
+
+    def advance(self, now):
+        """Accumulate the interval since the last change at the old count."""
+        elapsed = now - self._last_time
+        if elapsed > 0 and self.count > 0:
+            self.nonzero_cycles += elapsed
+            self.integral += elapsed * self.count
+        if elapsed > 0:
+            self._last_time = now
+
+    def add(self, now, delta=1):
+        """Change the outstanding count by *delta* at cycle *now*."""
+        self.advance(now)
+        self.count += delta
+        if self.count < 0:
+            raise RuntimeError("outstanding access count went negative")

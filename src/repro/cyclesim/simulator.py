@@ -1,0 +1,409 @@
+"""The cycle-level out-of-order pipeline.
+
+Trace-driven timing simulation over an annotated trace: the annotation
+decides *what* happens (which loads leave the chip, which branches
+mispredict), the pipeline decides *when*.  The model:
+
+* fetch: ``fetch_width``/cycle into a ``fetch_buffer``-entry queue;
+  fetch blocks on an instruction-fetch miss until the line returns, and
+  after a mispredicted branch until it resolves plus a redirect penalty;
+* dispatch: ``dispatch_width``/cycle, ``frontend_depth`` cycles after
+  fetch, consuming ROB and issue-window entries;
+* issue: ``issue_width``/cycle, oldest-first from the issue window once
+  operands are ready, subject to the Table 2 issue constraints (load
+  ordering, branch ordering, serializing drain);
+* memory: off-chip accesses allocate MSHR entries (merging on the same
+  line) that complete after ``miss_penalty`` cycles; MLP(t) is the
+  number of useful entries outstanding;
+* commit: in-order, ``commit_width``/cycle; a missing load holds its
+  ROB entry until its data returns.
+
+Time advances cycle by cycle while the pipeline makes progress and
+skips directly to the next event (a completion, a fetch restart) when
+it is fully stalled — which is most of the wall-clock time at
+1000-cycle memory latencies.
+"""
+
+import heapq
+
+from repro.core.config import BranchPolicy, LoadPolicy, SerializePolicy
+from repro.core.depgraph import depgraph_for
+from repro.core.mlpsim import event_masks, resolve_region
+from repro.cyclesim.config import CycleSimConfig
+from repro.cyclesim.metrics import CycleMetrics, OutstandingTracker
+from repro.isa.opclass import OpClass
+
+_NEVER = 1 << 60
+_LINE_SHIFT = 6
+
+
+class CycleSimulator:
+    """Runs one annotated trace through the cycle-level pipeline."""
+
+    def __init__(self, config=None):
+        self.config = config or CycleSimConfig()
+
+    def run(self, annotated, start=None, stop=None, workload=None):
+        """Simulate *annotated* and return :class:`CycleMetrics`."""
+        return run_cyclesim(
+            annotated, self.config, start=start, stop=stop, workload=workload
+        )
+
+
+def run_cyclesim(annotated, config=None, start=None, stop=None, workload=None):
+    """Simulate *annotated* under *config*; return :class:`CycleMetrics`."""
+    config = config or CycleSimConfig()
+    trace = annotated.trace
+    start, stop = resolve_region(annotated, start, stop)
+    n = stop - start
+
+    dmiss, imiss, mispred, pmiss, pfuseful, _ = event_masks(
+        annotated, config.machine(), start, stop
+    )
+    imiss = list(imiss)
+
+    graph = depgraph_for(annotated, start, stop)
+    prod1, prod2, prod3 = graph.prod1, graph.prod2, graph.prod3
+    memdep = graph.memdep
+
+    ops = trace.op[start:stop].tolist()
+    addrs = trace.addr[start:stop].tolist()
+    pcs = trace.pc[start:stop].tolist()
+
+    ALU = int(OpClass.ALU)
+    LOAD = int(OpClass.LOAD)
+    STORE = int(OpClass.STORE)
+    BRANCH = int(OpClass.BRANCH)
+    PREFETCH = int(OpClass.PREFETCH)
+    CAS = int(OpClass.CAS)
+    LDSTUB = int(OpClass.LDSTUB)
+    MEMBAR = int(OpClass.MEMBAR)
+    NOP = int(OpClass.NOP)
+    MEMOPS = (LOAD, STORE, PREFETCH, CAS, LDSTUB)
+
+    load_in_order = config.issue.load_policy == LoadPolicy.IN_ORDER
+    load_wait_staddr = config.issue.load_policy == LoadPolicy.WAIT_STORE_ADDR
+    branch_in_order = config.issue.branch_policy == BranchPolicy.IN_ORDER
+    serializing = config.issue.serialize_policy == SerializePolicy.SERIALIZING
+    perfect_l2 = config.perfect_l2
+    miss_penalty = config.miss_penalty
+    l1_latency = config.l1_latency
+    l2_latency = config.l2_latency
+
+    # Per-instruction timing state.
+    ready = [_NEVER] * n  # result availability (wakeup)
+    complete = [_NEVER] * n  # commit eligibility
+
+    fetch_q = []  # (index, dispatch-eligible cycle), FIFO
+    rob = []  # indices in program order (list used as deque via pointer)
+    rob_head = 0
+    iw = []  # dispatched, unissued indices (program order)
+    unissued_memops = []  # for policy A ordering (head may issue)
+    unresolved_stores = []  # for policy B (stores whose address is unknown)
+    unissued_branches = []  # for in-order branch issue
+
+    fetch_ptr = 0
+    fetch_stall_until = 0
+    waiting_redirect = False  # stalled on an unissued mispredicted branch
+    redirect_branch = -1
+    serializing_block_until = 0
+
+    mshr = {}  # line -> [completion_cycle, useful]
+    completion_events = []  # heap of (cycle, line)
+    tracker = OutstandingTracker()
+
+    metrics = CycleMetrics(
+        workload=workload or trace.name,
+        label=f"{config.issue_window}{config.issue.name}"
+        + ("/perfL2" if perfect_l2 else ""),
+    )
+
+    def access(now, addr, useful, kind):
+        """Start an off-chip access; return its completion cycle."""
+        if perfect_l2:
+            return now + l2_latency
+        line = addr >> _LINE_SHIFT
+        entry = mshr.get(line)
+        if entry is not None:
+            if useful and not entry[1]:
+                entry[1] = True
+                tracker.add(now, 1)
+            return entry[0]
+        done = now + miss_penalty
+        mshr[line] = [done, useful]
+        heapq.heappush(completion_events, (done, line))
+        if useful:
+            tracker.add(now, 1)
+            metrics.offchip_accesses += 1
+            if kind == 0:
+                metrics.dmiss_accesses += 1
+            elif kind == 1:
+                metrics.imiss_accesses += 1
+            else:
+                metrics.prefetch_accesses += 1
+        return done
+
+    def operands_ready(i):
+        """The cycle all register operands of *i* are available."""
+        when = 0
+        p = prod1[i]
+        if p >= 0:
+            r = ready[p]
+            if r > when:
+                when = r
+        p = prod2[i]
+        if p >= 0:
+            r = ready[p]
+            if r > when:
+                when = r
+        p = prod3[i]
+        if p >= 0:
+            r = ready[p]
+            if r > when:
+                when = r
+        return when
+
+    now = 0
+    committed = 0
+    stalls = metrics.stall_cycles
+    wait_reason_is_branch = False
+    while committed < n:
+        # Retire completed off-chip accesses.
+        while completion_events and completion_events[0][0] <= now:
+            done, line = heapq.heappop(completion_events)
+            entry = mshr.pop(line, None)
+            if entry is not None and entry[1]:
+                tracker.add(done, -1)
+
+        activity = 0
+        committed_this_cycle = 0
+
+        # ---- commit ------------------------------------------------------
+        for _ in range(config.commit_width):
+            if rob_head >= len(rob):
+                break
+            head = rob[rob_head]
+            if complete[head] > now:
+                break
+            rob_head += 1
+            committed += 1
+            committed_this_cycle += 1
+            activity += 1
+        if rob_head > 4096 and rob_head * 2 > len(rob):
+            del rob[:rob_head]
+            rob_head = 0
+
+        # ---- issue ---------------------------------------------------------
+        if iw and now >= serializing_block_until:
+            issued_this_cycle = 0
+            issued_indices = []
+            for i in iw:
+                if issued_this_cycle >= config.issue_width:
+                    break
+                op = ops[i]
+
+                if serializing and op in (CAS, LDSTUB, MEMBAR):
+                    # Pipeline drain: only the ROB head may issue, and
+                    # younger instructions wait for its completion.
+                    if rob_head >= len(rob) or rob[rob_head] != i:
+                        continue
+                if operands_ready(i) > now:
+                    continue
+
+                if op == LOAD or op == CAS or op == LDSTUB:
+                    m = memdep[i]
+                    if m >= 0 and complete[m] > now:
+                        continue  # wait for the forwarding store
+                    if load_in_order and unissued_memops[0] != i:
+                        continue
+                    if load_wait_staddr:
+                        while unresolved_stores:
+                            s = unresolved_stores[0]
+                            addr_when = 0
+                            p = prod1[s]
+                            if p >= 0 and ready[p] > addr_when:
+                                addr_when = ready[p]
+                            p = prod2[s]
+                            if p >= 0 and ready[p] > addr_when:
+                                addr_when = ready[p]
+                            if addr_when <= now:
+                                unresolved_stores.pop(0)
+                            else:
+                                break
+                        if unresolved_stores and unresolved_stores[0] < i:
+                            continue
+                    if dmiss[i]:
+                        done = access(now, addrs[i], True, 0)
+                    else:
+                        done = now + l1_latency
+                    ready[i] = done
+                    complete[i] = done
+                    if serializing and op != LOAD:
+                        serializing_block_until = done
+                elif op == STORE:
+                    if load_in_order and unissued_memops[0] != i:
+                        continue
+                    ready[i] = now + 1
+                    complete[i] = now + 1
+                elif op == PREFETCH:
+                    if pmiss[i]:
+                        access(now, addrs[i], pfuseful[i], 2)
+                    ready[i] = now + 1
+                    complete[i] = now + 1
+                elif op == BRANCH:
+                    if branch_in_order and unissued_branches[0] != i:
+                        continue
+                    done = now + config.branch_latency
+                    ready[i] = done
+                    complete[i] = done
+                    if i == redirect_branch:
+                        fetch_stall_until = done + config.redirect_penalty
+                        redirect_branch = -1
+                        waiting_redirect = False
+                        wait_reason_is_branch = True
+                elif op == MEMBAR:
+                    ready[i] = now + 1
+                    complete[i] = now + 1
+                    if serializing:
+                        serializing_block_until = now + 1
+                else:  # ALU / NOP
+                    done = now + config.alu_latency
+                    ready[i] = done
+                    complete[i] = done
+
+                issued_indices.append(i)
+                issued_this_cycle += 1
+                if op in MEMOPS and unissued_memops and unissued_memops[0] == i:
+                    unissued_memops.pop(0)
+                elif op in MEMOPS:
+                    unissued_memops.remove(i)
+                if op == BRANCH:
+                    if unissued_branches and unissued_branches[0] == i:
+                        unissued_branches.pop(0)
+                    else:
+                        unissued_branches.remove(i)
+                if serializing and op in (CAS, LDSTUB):
+                    break  # drain: nothing younger issues this cycle
+
+            for i in issued_indices:
+                iw.remove(i)
+            activity += len(issued_indices)
+
+        # ---- dispatch -----------------------------------------------------
+        dispatched = 0
+        while (
+            fetch_q
+            and dispatched < config.dispatch_width
+            and fetch_q[0][1] <= now
+            and len(rob) - rob_head < config.rob
+            and len(iw) < config.issue_window
+        ):
+            if (
+                serializing
+                and ops[fetch_q[0][0]] in (CAS, LDSTUB, MEMBAR)
+                and rob_head < len(rob)
+            ):
+                # Pipeline drain: a serializing instruction enters the
+                # backend only once everything older has committed.
+                break
+            i, _ = fetch_q.pop(0)
+            rob.append(i)
+            iw.append(i)
+            op = ops[i]
+            if op in MEMOPS:
+                unissued_memops.append(i)
+                if op == STORE and load_wait_staddr:
+                    unresolved_stores.append(i)
+            if op == BRANCH:
+                unissued_branches.append(i)
+            dispatched += 1
+        activity += dispatched
+
+        # ---- fetch ---------------------------------------------------------
+        if now >= fetch_stall_until and not waiting_redirect:
+            fetched = 0
+            while (
+                fetch_ptr < n
+                and fetched < config.fetch_width
+                and len(fetch_q) < config.fetch_buffer
+            ):
+                i = fetch_ptr
+                if imiss[i]:
+                    imiss[i] = False
+                    done = access(now, pcs[i], True, 1)
+                    fetch_stall_until = done
+                    wait_reason_is_branch = False
+                    break
+                fetch_q.append((i, now + config.frontend_depth))
+                fetch_ptr += 1
+                fetched += 1
+                if mispred[i]:
+                    waiting_redirect = True
+                    redirect_branch = i
+                    break
+            activity += fetched
+
+        # ---- attribute this cycle to the CPI stack -------------------------
+        if committed_this_cycle:
+            category = "commit"
+        elif rob_head < len(rob):
+            head = rob[rob_head]
+            if complete[head] < _NEVER:
+                head_op = ops[head]
+                if head_op in (CAS, LDSTUB, MEMBAR) and serializing:
+                    category = "drain"
+                elif dmiss[head] or head_op in (LOAD, CAS, LDSTUB):
+                    category = "memory"
+                else:
+                    category = "backend"
+            else:
+                category = "backend"
+        elif waiting_redirect or (
+            redirect_branch == -1 and fetch_stall_until > now and fetch_ptr < n
+            and wait_reason_is_branch
+        ):
+            category = "branch"
+        elif fetch_stall_until > now:
+            category = "ifetch"
+        else:
+            category = "frontend"
+
+        # ---- advance time --------------------------------------------------
+        tracker.advance(now)
+        if activity or not config.event_skip:
+            stalls[category] += 1
+            now += 1
+            continue
+        # Fully stalled: jump to the next event.
+        next_time = _NEVER
+        if completion_events:
+            next_time = completion_events[0][0]
+        if rob_head < len(rob):
+            c = complete[rob[rob_head]]
+            if c < next_time:
+                next_time = c
+        for i in iw:
+            w = operands_ready(i)
+            if now < w < next_time:
+                next_time = w
+        if fetch_q and fetch_q[0][1] > now:
+            if fetch_q[0][1] < next_time:
+                next_time = fetch_q[0][1]
+        if not waiting_redirect and now < fetch_stall_until < next_time:
+            next_time = fetch_stall_until
+        if now < serializing_block_until < next_time:
+            next_time = serializing_block_until
+        if next_time <= now or next_time >= _NEVER:
+            raise RuntimeError(
+                f"cycle simulator deadlocked at cycle {now}"
+                f" (committed {committed}/{n})"
+            )
+        stalls[category] += next_time - now
+        now = next_time
+
+    tracker.advance(now)
+    metrics.instructions = n
+    metrics.cycles = now
+    metrics.nonzero_cycles = tracker.nonzero_cycles
+    metrics.outstanding_integral = tracker.integral
+    return metrics

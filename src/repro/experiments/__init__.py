@@ -1,0 +1,56 @@
+"""Per-exhibit reproduction harnesses.
+
+One module per table/figure of the paper's evaluation section.  Every
+module exposes ``run(trace_len=None, ...) -> Exhibit``; the returned
+exhibit renders the same rows/series the paper reports.  The benchmark
+suite (``benchmarks/``) calls these and records their timings; the
+``examples/reproduce_paper.py`` script runs them all and writes
+EXPERIMENTS.md-style output.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    Exhibit,
+    WORKLOAD_NAMES,
+    default_trace_len,
+    get_annotated,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "Exhibit",
+    "WORKLOAD_NAMES",
+    "default_trace_len",
+    "get_annotated",
+]
+
+#: Exhibit-name -> module-name map for discovery (benchmarks iterate it).
+EXHIBITS = {
+    "table1": "repro.experiments.table1",
+    "figure2": "repro.experiments.figure2",
+    "table3": "repro.experiments.table3",
+    "table4": "repro.experiments.table4",
+    "table5": "repro.experiments.table5",
+    "figure4": "repro.experiments.figure4",
+    "figure5": "repro.experiments.figure5",
+    "figure6": "repro.experiments.figure6",
+    "figure7": "repro.experiments.figure7",
+    "figure8": "repro.experiments.figure8",
+    "figure9_table6": "repro.experiments.figure9_table6",
+    "figure10": "repro.experiments.figure10",
+    "figure11": "repro.experiments.figure11",
+}
+
+
+def run_exhibit(name, **kwargs):
+    """Run one exhibit by name and return its :class:`Exhibit`."""
+    import importlib
+
+    try:
+        module_name = EXHIBITS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown exhibit {name!r}; expected one of {sorted(EXHIBITS)}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return module.run(**kwargs)

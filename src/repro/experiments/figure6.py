@@ -1,0 +1,94 @@
+"""Figure 6: decoupling the issue window from the ROB.
+
+For issue-window sizes {16, 32, 64, 128} and configurations A-E, MLP as
+the ROB is enlarged to 1x/2x/4x/8x the issue window and to a constant
+2048 entries; the rightmost "INF" bar is a 2048-entry issue window and
+ROB under configuration E.  The paper's findings to reproduce: a bigger
+ROB behind a small issue window buys substantial MLP (the ROB is cheap
+FIFO storage, the issue window is expensive CAM); the benefit grows
+with more aggressive issue configurations and is dramatic under E; the
+paper quotes 64D ROB 64->256 gains of +16%/+12%/+2% and 64E ROB
+64->1024 gains of +51%/+49%/+22%.
+"""
+
+from repro.analysis.sweep import sweep
+from repro.core.config import MachineConfig
+from repro.experiments.common import (
+    DISPLAY_NAMES,
+    Exhibit,
+    WORKLOAD_NAMES,
+    get_annotated,
+)
+
+IW_SIZES = (16, 32, 64, 128)
+CONFIGS = "ABCDE"
+ROB_MULTIPLES = (1, 2, 4, 8)
+BIG_ROB = 2048
+
+
+def machine_grid(iw_sizes=IW_SIZES, configs=CONFIGS,
+                 multiples=ROB_MULTIPLES, big_rob=BIG_ROB):
+    """The (label, machine) grid of Figure 6, including the INF machine."""
+    grid = []
+    for iw in iw_sizes:
+        for letter in configs:
+            for mult in multiples:
+                label = f"{iw}{letter}/x{mult}"
+                grid.append(
+                    (label, MachineConfig.named(f"{iw}{letter}", rob=iw * mult))
+                )
+            grid.append(
+                (
+                    f"{iw}{letter}/{big_rob}",
+                    MachineConfig.named(f"{iw}{letter}", rob=big_rob),
+                )
+            )
+    grid.append(("INF", MachineConfig.named(f"{big_rob}E")))
+    return grid
+
+
+def run(trace_len=None, iw_sizes=IW_SIZES, configs=CONFIGS):
+    """Reproduce Figure 6; returns an :class:`Exhibit`."""
+    tables = []
+    notes = []
+    for name in WORKLOAD_NAMES:
+        annotated = get_annotated(name, trace_len)
+        result = sweep(annotated, machine_grid(iw_sizes, configs))
+        rows = []
+        for iw in iw_sizes:
+            for letter in configs:
+                row = [f"{iw}{letter}"]
+                row.extend(
+                    result.mlp(f"{iw}{letter}/x{m}") for m in ROB_MULTIPLES
+                )
+                row.append(result.mlp(f"{iw}{letter}/{BIG_ROB}"))
+                rows.append(row)
+        rows.append(
+            ["INF", None, None, None, None, result.mlp("INF")]
+        )
+        tables.append(
+            (
+                DISPLAY_NAMES[name],
+                ["IW/Cfg"]
+                + [f"ROB {m}X" for m in ROB_MULTIPLES]
+                + [f"ROB {BIG_ROB}"],
+                rows,
+            )
+        )
+        if 64 in iw_sizes and "D" in configs:
+            gain = result.mlp("64D/x4") / result.mlp("64D/x1") - 1
+            notes.append(
+                f"{DISPLAY_NAMES[name]}: 64D ROB 64->256 = +{gain:.0%} MLP"
+                " (paper: +16%/+12%/+2%)"
+            )
+    notes.append(
+        "paper finding: enlarging the (cheap, FIFO) ROB behind a fixed"
+        " issue window exploits MLP far more efficiently than growing the"
+        " (CAM) issue window, dramatically so under configuration E"
+    )
+    return Exhibit(
+        name="Figure 6",
+        title="Impact of decoupling issue window and ROB sizes",
+        tables=tables,
+        notes=notes,
+    )

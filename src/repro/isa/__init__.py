@@ -1,0 +1,45 @@
+"""Abstract SPARC-flavoured ISA used by the trace infrastructure.
+
+The epoch model (and therefore MLPsim) consumes only the aspects of an
+instruction that affect memory-level parallelism: its class, its register
+dependences, the memory address it touches, and its control-flow
+behaviour.  This package defines that abstract instruction record and the
+register-file conventions shared by the workload generators, the
+annotation pipeline and both simulators.
+"""
+
+from repro.isa.opclass import (
+    OpClass,
+    MEMORY_OPS,
+    SERIALIZING_OPS,
+    is_branch,
+    is_load_like,
+    is_memory,
+    is_serializing,
+    is_store_like,
+)
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_NONE,
+    REG_ZERO,
+    RegisterNames,
+    register_name,
+)
+from repro.isa.instruction import Instruction
+
+__all__ = [
+    "OpClass",
+    "MEMORY_OPS",
+    "SERIALIZING_OPS",
+    "is_branch",
+    "is_load_like",
+    "is_memory",
+    "is_serializing",
+    "is_store_like",
+    "NUM_REGS",
+    "REG_NONE",
+    "REG_ZERO",
+    "RegisterNames",
+    "register_name",
+    "Instruction",
+]

@@ -1,0 +1,143 @@
+"""The dynamic instruction record.
+
+An :class:`Instruction` is one entry of a dynamic instruction stream
+(DIS).  It carries exactly the information the epoch model needs:
+
+* ``op`` — the instruction class (:class:`repro.isa.opclass.OpClass`);
+* ``pc`` — the fetch address (drives I-cache behaviour);
+* ``dst`` — destination register, or ``REG_NONE``;
+* ``src1, src2`` — source registers.  For memory operations these are the
+  *address* sources; for ALU/branch instructions they are data sources;
+* ``src3`` — the *data* source of a store-like instruction (distinct from
+  the address sources because issue configuration B of Table 2 waits only
+  for earlier store *addresses* to resolve);
+* ``addr`` — effective data address for memory operations;
+* ``taken``/``target`` — branch outcome and destination;
+* ``value`` — for load-like instructions, the value read (feeds the
+  last-value predictor of Section 5.5); for stores, the value written.
+"""
+
+import dataclasses
+
+from repro.isa.opclass import (
+    OpClass,
+    is_branch,
+    is_load_like,
+    is_memory,
+    is_serializing,
+    is_store_like,
+)
+from repro.isa.registers import REG_NONE, REG_ZERO, register_name
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction of a trace."""
+
+    op: OpClass
+    pc: int
+    dst: int = REG_NONE
+    src1: int = REG_NONE
+    src2: int = REG_NONE
+    src3: int = REG_NONE
+    addr: int = 0
+    taken: bool = False
+    target: int = 0
+    value: int = 0
+
+    def __post_init__(self):
+        if self.op == OpClass.PREFETCH and self.dst != REG_NONE:
+            raise ValueError("prefetches must not write a register")
+        if self.src3 != REG_NONE and not is_store_like(self.op):
+            raise ValueError("src3 (store data) is only valid on store-like ops")
+
+    # -- classification helpers -------------------------------------------
+
+    @property
+    def is_memory(self):
+        """True if this instruction accesses data memory."""
+        return is_memory(self.op)
+
+    @property
+    def is_load_like(self):
+        """True if this instruction reads data memory."""
+        return is_load_like(self.op)
+
+    @property
+    def is_store_like(self):
+        """True if this instruction writes data memory."""
+        return is_store_like(self.op)
+
+    @property
+    def is_branch(self):
+        """True if this instruction is a control transfer."""
+        return is_branch(self.op)
+
+    @property
+    def is_serializing(self):
+        """True if this instruction serializes the pipeline."""
+        return is_serializing(self.op)
+
+    @property
+    def is_prefetch(self):
+        """True if this instruction is a software prefetch."""
+        return self.op == OpClass.PREFETCH
+
+    # -- dependence helpers ------------------------------------------------
+
+    def sources(self):
+        """Return the register sources that create true dependences.
+
+        The hard-wired zero register and empty operand slots are excluded
+        because they never delay execution.
+        """
+        return tuple(
+            r
+            for r in (self.src1, self.src2, self.src3)
+            if r != REG_NONE and r != REG_ZERO
+        )
+
+    def address_sources(self):
+        """Return the registers the effective address depends on.
+
+        Only meaningful for memory operations; empty otherwise.
+        """
+        if not self.is_memory:
+            return ()
+        return tuple(
+            r for r in (self.src1, self.src2) if r != REG_NONE and r != REG_ZERO
+        )
+
+    def writes_register(self):
+        """Return True if this instruction produces a register result."""
+        return self.dst != REG_NONE and self.dst != REG_ZERO
+
+    # -- display -------------------------------------------------------------
+
+    def disassemble(self):
+        """Return a human-readable one-line rendering of the instruction."""
+        name = self.op.name.lower()
+        if self.op == OpClass.LOAD:
+            return (
+                f"{name} [{register_name(self.src1)}+{self.addr & 0xFFF:#x}]"
+                f" -> {register_name(self.dst)}"
+            )
+        if self.op == OpClass.STORE:
+            return (
+                f"{name} {register_name(self.src3)} ->"
+                f" [{register_name(self.src1)}+{self.addr & 0xFFF:#x}]"
+            )
+        if self.op == OpClass.BRANCH:
+            arrow = "taken" if self.taken else "not-taken"
+            return f"{name} {register_name(self.src1)}, {self.target:#x} ({arrow})"
+        if self.op == OpClass.PREFETCH:
+            return f"{name} [{self.addr:#x}]"
+        if self.is_serializing:
+            return name
+        return (
+            f"{name} {register_name(self.src1)},{register_name(self.src2)}"
+            f" -> {register_name(self.dst)}"
+        )
+
+    def __str__(self):
+        return f"{self.pc:#010x}: {self.disassemble()}"

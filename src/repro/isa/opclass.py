@@ -1,0 +1,85 @@
+"""Instruction classes of the abstract ISA.
+
+The classes mirror the instruction categories the paper reasons about in
+Section 3: ordinary computation, loads, stores, branches, software
+prefetches, and the SPARC serializing instructions (CASA, LDSTUB and
+MEMBAR) whose straightforward implementation drains the pipeline.
+"""
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Instruction class of a dynamic instruction.
+
+    The numeric values are part of the on-disk trace format and must not
+    be reordered.
+    """
+
+    ALU = 0
+    """Register-to-register computation (arithmetic, logic, moves)."""
+
+    LOAD = 1
+    """Memory read into a destination register."""
+
+    STORE = 2
+    """Memory write; sources an address and a data register."""
+
+    BRANCH = 3
+    """Conditional or unconditional control transfer."""
+
+    PREFETCH = 4
+    """Software prefetch: brings a line toward the core, never stalls."""
+
+    CAS = 5
+    """Compare-and-swap (SPARC ``CASA``): an atomic, serializing."""
+
+    LDSTUB = 6
+    """Load-store-unsigned-byte atomic (SPARC ``LDSTUB``): serializing."""
+
+    MEMBAR = 7
+    """Explicit memory barrier (SPARC ``MEMBAR``): serializing."""
+
+    NOP = 8
+    """No-operation; occupies fetch/window slots but has no effects."""
+
+
+#: Classes whose execution touches data memory.
+MEMORY_OPS = frozenset(
+    {OpClass.LOAD, OpClass.STORE, OpClass.PREFETCH, OpClass.CAS, OpClass.LDSTUB}
+)
+
+#: Classes that serialize the pipeline in a straightforward implementation
+#: (Section 3.2.2 of the paper).
+SERIALIZING_OPS = frozenset({OpClass.CAS, OpClass.LDSTUB, OpClass.MEMBAR})
+
+#: Classes that read data memory (may produce an off-chip data access).
+_LOAD_LIKE = frozenset({OpClass.LOAD, OpClass.CAS, OpClass.LDSTUB})
+
+#: Classes that write data memory.
+_STORE_LIKE = frozenset({OpClass.STORE, OpClass.CAS, OpClass.LDSTUB})
+
+
+def is_memory(op):
+    """Return True if *op* accesses data memory."""
+    return op in MEMORY_OPS
+
+
+def is_serializing(op):
+    """Return True if *op* is a serializing instruction (CASA etc.)."""
+    return op in SERIALIZING_OPS
+
+
+def is_load_like(op):
+    """Return True if *op* reads data memory (loads and atomics)."""
+    return op in _LOAD_LIKE
+
+
+def is_store_like(op):
+    """Return True if *op* writes data memory (stores and atomics)."""
+    return op in _STORE_LIKE
+
+
+def is_branch(op):
+    """Return True if *op* is a control transfer."""
+    return op == OpClass.BRANCH

@@ -1,0 +1,56 @@
+"""Register-file conventions of the abstract ISA.
+
+We model a flat file of 64 integer registers in the SPARC spirit:
+register 0 behaves like SPARC's ``%g0`` — it always reads as zero and is
+therefore *always available*; writes to it are discarded.  Floating-point
+state is folded into the same file because MLP only cares about
+dependence structure, not operand types.
+"""
+
+#: Total number of architectural registers.
+NUM_REGS = 64
+
+#: Sentinel for "no register" in an operand slot.
+REG_NONE = -1
+
+#: The hard-wired zero register (reads never create a dependence).
+REG_ZERO = 0
+
+_GROUPS = ("g", "o", "l", "i", "f", "x", "y", "z")
+
+
+class RegisterNames:
+    """SPARC-flavoured display names for the flat register file.
+
+    Registers 0-31 are named ``%g0-%g7, %o0-%o7, %l0-%l7, %i0-%i7`` as in
+    SPARC; registers 32-63 get synthetic group names.  This exists purely
+    for trace dumps and debugging output.
+    """
+
+    @staticmethod
+    def name(reg):
+        """Return the display name of register index *reg*."""
+        return register_name(reg)
+
+    @staticmethod
+    def all_names():
+        """Return the display names of every register, in index order."""
+        return [register_name(r) for r in range(NUM_REGS)]
+
+
+def register_name(reg):
+    """Return a SPARC-flavoured display name for register index *reg*.
+
+    >>> register_name(0)
+    '%g0'
+    >>> register_name(9)
+    '%o1'
+    >>> register_name(-1)
+    '--'
+    """
+    if reg == REG_NONE:
+        return "--"
+    if not 0 <= reg < NUM_REGS:
+        raise ValueError(f"register index out of range: {reg}")
+    group, offset = divmod(reg, 8)
+    return f"%{_GROUPS[group]}{offset}"

@@ -1,0 +1,37 @@
+"""Memory-hierarchy substrate.
+
+The default hierarchy matches the paper's Section 5.1 configuration:
+32KB 4-way L1 instruction and data caches, a 2MB 4-way shared L2 (all
+64-byte lines), no L3, and a 2K-entry shared TLB.  A miss in the furthest
+on-chip cache (the L2) is a *long-latency off-chip access* — the events
+MLP is made of.
+"""
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.tlb import TLB
+from repro.memory.mshr import MSHRFile
+from repro.memory.prefetcher import (
+    NextLinePrefetcher,
+    PrefetchStudy,
+    StridePrefetcher,
+    run_prefetch_study,
+)
+from repro.memory.hierarchy import (
+    AccessLevel,
+    Hierarchy,
+    HierarchyConfig,
+)
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "TLB",
+    "MSHRFile",
+    "NextLinePrefetcher",
+    "PrefetchStudy",
+    "StridePrefetcher",
+    "run_prefetch_study",
+    "AccessLevel",
+    "Hierarchy",
+    "HierarchyConfig",
+]

@@ -1,0 +1,133 @@
+"""Set-associative cache with true-LRU replacement.
+
+This is the only cache model the reproduction needs: the paper's
+hierarchy is write-allocate and the MLP study cares solely about *which*
+accesses leave the chip, not about writeback traffic or coherence.  Each
+set keeps its ways in MRU-to-LRU order in a short Python list, which is
+both simple and fast at the 4-way associativities used here.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+
+    def __post_init__(self):
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        if self.size_bytes % (self.associativity * self.line_bytes):
+            raise ValueError(
+                "cache size must be a multiple of associativity * line size"
+            )
+        num_sets = self.size_bytes // (self.associativity * self.line_bytes)
+        if num_sets & (num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def num_sets(self):
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+    @property
+    def line_shift(self):
+        return self.line_bytes.bit_length() - 1
+
+
+class Cache:
+    """One level of set-associative, true-LRU cache.
+
+    Addresses are byte addresses; the cache operates on line granularity.
+    """
+
+    def __init__(self, config, name="cache"):
+        self.config = config
+        self.name = name
+        self._line_shift = config.line_shift
+        self._set_mask = config.num_sets - 1
+        self._sets = [[] for _ in range(config.num_sets)]
+        self._assoc = config.associativity
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, addr):
+        line = addr >> self._line_shift
+        return line & self._set_mask, line
+
+    def access(self, addr):
+        """Access *addr*: return True on hit; allocate the line on a miss."""
+        set_index, line = self._index(addr)
+        ways = self._sets[set_index]
+        if line in ways:
+            self.hits += 1
+            if ways[0] != line:
+                ways.remove(line)
+                ways.insert(0, line)
+            return True
+        self.misses += 1
+        ways.insert(0, line)
+        if len(ways) > self._assoc:
+            ways.pop()
+        return False
+
+    def probe(self, addr):
+        """Return True if *addr*'s line is resident (no state change)."""
+        set_index, line = self._index(addr)
+        return line in self._sets[set_index]
+
+    def fill(self, addr):
+        """Install *addr*'s line (e.g. a prefetch fill) as MRU."""
+        set_index, line = self._index(addr)
+        ways = self._sets[set_index]
+        if line in ways:
+            if ways[0] != line:
+                ways.remove(line)
+                ways.insert(0, line)
+            return
+        ways.insert(0, line)
+        if len(ways) > self._assoc:
+            ways.pop()
+
+    def invalidate(self, addr):
+        """Drop *addr*'s line if resident; return True if it was."""
+        set_index, line = self._index(addr)
+        ways = self._sets[set_index]
+        if line in ways:
+            ways.remove(line)
+            return True
+        return False
+
+    def reset_stats(self):
+        """Zero the hit/miss counters (e.g. after cache warmup)."""
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self):
+        """Empty the cache entirely."""
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self):
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def occupancy(self):
+        """Return the number of resident lines (for tests/diagnostics)."""
+        return sum(len(ways) for ways in self._sets)
+
+    def __repr__(self):
+        cfg = self.config
+        return (
+            f"Cache({self.name}: {cfg.size_bytes // 1024}KB,"
+            f" {cfg.associativity}-way, {cfg.line_bytes}B lines,"
+            f" {self.hits} hits / {self.misses} misses)"
+        )

@@ -1,0 +1,74 @@
+"""Miss-status holding registers for the cycle-accurate simulator.
+
+The MSHR file tracks off-chip accesses in flight, merging requests to the
+same line.  The cycle simulator reads its occupancy every cycle to
+measure instantaneous MLP, MLP(t), exactly as Section 2.1 prescribes
+("the number of useful long-latency off-chip accesses outstanding at
+cycle t").
+"""
+
+
+class MSHRFile:
+    """Outstanding off-chip misses, keyed by line address.
+
+    The paper assumes miss-handling resources are never the bottleneck
+    (infinite load/store buffers), so capacity defaults to unbounded; a
+    finite capacity is supported for sensitivity experiments.
+    """
+
+    def __init__(self, line_bytes=64, capacity=None):
+        self._line_shift = line_bytes.bit_length() - 1
+        self.capacity = capacity
+        self._inflight = {}  # line -> completion cycle
+        self.allocations = 0
+        self.merges = 0
+
+    def line_of(self, addr):
+        """Line index of byte address *addr*."""
+        return addr >> self._line_shift
+
+    def is_full(self):
+        """True when a finite MSHR file has no free entry."""
+        return self.capacity is not None and len(self._inflight) >= self.capacity
+
+    def lookup(self, addr):
+        """Return the completion cycle of *addr*'s in-flight miss, or None."""
+        return self._inflight.get(self.line_of(addr))
+
+    def allocate(self, addr, completion_cycle):
+        """Track a new off-chip access completing at *completion_cycle*.
+
+        If the line is already in flight the request merges and the
+        existing completion cycle is returned; otherwise the new one is.
+        """
+        line = self.line_of(addr)
+        existing = self._inflight.get(line)
+        if existing is not None:
+            self.merges += 1
+            return existing
+        if self.is_full():
+            raise RuntimeError("MSHR file exhausted")
+        self._inflight[line] = completion_cycle
+        self.allocations += 1
+        return completion_cycle
+
+    def retire_complete(self, now):
+        """Drop entries whose completion cycle is <= *now*; return lines."""
+        done = [line for line, when in self._inflight.items() if when <= now]
+        for line in done:
+            del self._inflight[line]
+        return done
+
+    def outstanding(self):
+        """Return the number of distinct off-chip accesses in flight."""
+        return len(self._inflight)
+
+    def next_completion(self):
+        """Return the earliest completion cycle in flight, or None."""
+        if not self._inflight:
+            return None
+        return min(self._inflight.values())
+
+    def clear(self):
+        """Drop every in-flight entry."""
+        self._inflight.clear()

@@ -1,0 +1,55 @@
+"""Shared translation lookaside buffer.
+
+The paper's default machine has a 2K-entry shared TLB.  TLB misses are
+serviced on-chip in this study (the paper never attributes off-chip
+traffic to page walks), so the TLB exists for characterisation only: it
+counts translation misses but does not create off-chip accesses.
+"""
+
+
+class TLB:
+    """Fully-associative-by-construction LRU TLB over fixed-size pages.
+
+    A dict preserving insertion order gives O(1) LRU when combined with
+    re-insertion on hit; capacity is enforced by evicting the oldest
+    entry.
+    """
+
+    def __init__(self, entries=2048, page_bytes=8192):
+        if page_bytes & (page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+        self.entries = entries
+        self.page_shift = page_bytes.bit_length() - 1
+        self._pages = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr):
+        """Translate *addr*: return True on TLB hit."""
+        page = addr >> self.page_shift
+        pages = self._pages
+        if page in pages:
+            self.hits += 1
+            del pages[page]
+            pages[page] = True
+            return True
+        self.misses += 1
+        pages[page] = True
+        if len(pages) > self.entries:
+            oldest = next(iter(pages))
+            del pages[oldest]
+        return False
+
+    def reset_stats(self):
+        """Zero the hit/miss counters."""
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self):
+        total = self.accesses
+        return self.misses / total if total else 0.0

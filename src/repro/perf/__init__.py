@@ -1,0 +1,19 @@
+"""Performance modeling: the paper's MLP-to-CPI equations (Section 2.2)."""
+
+from repro.perf.cpi_model import (
+    CPIBreakdown,
+    cpi_breakdown,
+    derive_overlap_cm,
+    estimate_cpi,
+    estimate_cycles,
+    speedup,
+)
+
+__all__ = [
+    "CPIBreakdown",
+    "cpi_breakdown",
+    "derive_overlap_cm",
+    "estimate_cpi",
+    "estimate_cycles",
+    "speedup",
+]

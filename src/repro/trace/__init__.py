@@ -1,0 +1,35 @@
+"""Trace infrastructure: containers, builders, I/O, statistics, annotation.
+
+A :class:`~repro.trace.trace.Trace` is a columnar (numpy-backed) dynamic
+instruction stream.  Workload generators produce traces; the annotation
+pipeline (:mod:`repro.trace.annotate`) runs the memory hierarchy, branch
+predictor and value predictor over a trace to mark each instruction with
+the microarchitecture-dependent events MLPsim consumes (off-chip data
+miss, off-chip instruction-fetch miss, branch misprediction, value
+prediction correctness, prefetch usefulness).
+"""
+
+from repro.trace.trace import Trace
+from repro.trace.builder import TraceBuilder
+from repro.trace.io import (
+    load_annotated,
+    load_trace,
+    save_annotated,
+    save_trace,
+)
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.annotate import AnnotatedTrace, AnnotationConfig, annotate
+
+__all__ = [
+    "Trace",
+    "TraceBuilder",
+    "load_annotated",
+    "load_trace",
+    "save_annotated",
+    "save_trace",
+    "TraceStats",
+    "compute_stats",
+    "AnnotatedTrace",
+    "AnnotationConfig",
+    "annotate",
+]

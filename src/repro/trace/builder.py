@@ -1,0 +1,149 @@
+"""Imperative builder for traces.
+
+Workload generators and tests construct traces instruction by
+instruction through :class:`TraceBuilder`, which accumulates into Python
+lists and converts to the columnar format once at :meth:`build` time.
+The ``add_*`` helpers encode the operand conventions documented on
+:class:`repro.isa.instruction.Instruction` so call sites stay readable.
+"""
+
+import numpy as np
+
+from repro.isa.instruction import Instruction
+from repro.isa.opclass import OpClass
+from repro.isa.registers import REG_NONE
+from repro.trace.trace import COLUMNS, Trace
+
+
+class TraceBuilder:
+    """Accumulates dynamic instructions and produces a :class:`Trace`."""
+
+    def __init__(self, name="trace"):
+        self.name = name
+        self._cols = {name: [] for name, _ in COLUMNS}
+
+    def __len__(self):
+        return len(self._cols["op"])
+
+    # -- generic -------------------------------------------------------------
+
+    def add(self, instruction):
+        """Append an :class:`Instruction` object."""
+        self.add_raw(
+            op=instruction.op,
+            pc=instruction.pc,
+            dst=instruction.dst,
+            src1=instruction.src1,
+            src2=instruction.src2,
+            src3=instruction.src3,
+            addr=instruction.addr,
+            taken=instruction.taken,
+            target=instruction.target,
+            value=instruction.value,
+        )
+
+    def add_raw(
+        self,
+        op,
+        pc,
+        dst=REG_NONE,
+        src1=REG_NONE,
+        src2=REG_NONE,
+        src3=REG_NONE,
+        addr=0,
+        taken=False,
+        target=0,
+        value=0,
+    ):
+        """Append one instruction from raw field values (no validation)."""
+        cols = self._cols
+        cols["op"].append(int(op))
+        cols["pc"].append(pc)
+        cols["dst"].append(dst)
+        cols["src1"].append(src1)
+        cols["src2"].append(src2)
+        cols["src3"].append(src3)
+        cols["addr"].append(addr)
+        cols["taken"].append(taken)
+        cols["target"].append(target)
+        cols["value"].append(value)
+
+    # -- typed helpers ---------------------------------------------------------
+
+    def add_alu(self, pc, dst, src1=REG_NONE, src2=REG_NONE, value=0):
+        """Append a register-to-register computation."""
+        self.add_raw(OpClass.ALU, pc, dst=dst, src1=src1, src2=src2, value=value)
+
+    def add_nop(self, pc):
+        """Append a no-operation."""
+        self.add_raw(OpClass.NOP, pc)
+
+    def add_load(self, pc, dst, addr, src1=REG_NONE, src2=REG_NONE, value=0):
+        """Append a load of *addr* into register *dst*.
+
+        *src1*/*src2* are the registers the effective address was computed
+        from (they create the address dependence).
+        """
+        self.add_raw(
+            OpClass.LOAD, pc, dst=dst, src1=src1, src2=src2, addr=addr, value=value
+        )
+
+    def add_store(self, pc, addr, data_src, src1=REG_NONE, src2=REG_NONE, value=0):
+        """Append a store of register *data_src* to *addr*."""
+        self.add_raw(
+            OpClass.STORE,
+            pc,
+            src1=src1,
+            src2=src2,
+            src3=data_src,
+            addr=addr,
+            value=value,
+        )
+
+    def add_branch(self, pc, taken, target, src1=REG_NONE, src2=REG_NONE):
+        """Append a conditional branch with outcome *taken*."""
+        self.add_raw(
+            OpClass.BRANCH, pc, src1=src1, src2=src2, taken=taken, target=target
+        )
+
+    def add_prefetch(self, pc, addr, src1=REG_NONE):
+        """Append a software prefetch of *addr*."""
+        self.add_raw(OpClass.PREFETCH, pc, src1=src1, addr=addr)
+
+    def add_cas(self, pc, dst, addr, src1=REG_NONE, data_src=REG_NONE, value=0):
+        """Append a compare-and-swap (serializing atomic) on *addr*."""
+        self.add_raw(
+            OpClass.CAS,
+            pc,
+            dst=dst,
+            src1=src1,
+            src3=data_src,
+            addr=addr,
+            value=value,
+        )
+
+    def add_ldstub(self, pc, dst, addr, src1=REG_NONE, value=0):
+        """Append an LDSTUB (serializing atomic) on *addr*."""
+        self.add_raw(OpClass.LDSTUB, pc, dst=dst, src1=src1, addr=addr, value=value)
+
+    def add_membar(self, pc):
+        """Append a memory barrier."""
+        self.add_raw(OpClass.MEMBAR, pc)
+
+    # -- finalisation -----------------------------------------------------------
+
+    def build(self):
+        """Freeze the accumulated instructions into a :class:`Trace`."""
+        arrays = {
+            name: np.asarray(values, dtype=dtype)
+            for (name, dtype), values in zip(COLUMNS, self._cols.values())
+        }
+        return Trace(arrays, name=self.name)
+
+
+def trace_from_instructions(instructions, name="trace"):
+    """Build a :class:`Trace` from an iterable of :class:`Instruction`."""
+    builder = TraceBuilder(name=name)
+    for instruction in instructions:
+        builder.add(instruction)
+    return builder.build()

@@ -1,0 +1,96 @@
+"""Binary trace and annotation persistence.
+
+Traces round-trip through numpy ``.npz`` archives: one array per column
+plus a small metadata record.  Annotated traces (trace + event masks)
+round-trip the same way, so the expensive cache/predictor pass can be
+done once and shared.  Both formats are versioned so stale cached files
+are rejected rather than silently misread.
+"""
+
+import numpy as np
+
+from repro.trace.trace import COLUMNS, Trace
+
+#: Bump when the column schema changes.
+FORMAT_VERSION = 1
+
+#: Event masks persisted for an annotated trace.
+ANNOTATION_FIELDS = (
+    "dmiss", "pmiss", "pfuseful", "imiss", "mispred", "vp_outcome", "smiss"
+)
+
+
+def save_trace(trace, path):
+    """Write *trace* to *path* as a compressed ``.npz`` archive."""
+    payload = {name: getattr(trace, name) for name, _ in COLUMNS}
+    payload["__version__"] = np.asarray([FORMAT_VERSION], dtype=np.int64)
+    payload["__name__"] = np.asarray([trace.name], dtype=np.str_)
+    np.savez_compressed(path, **payload)
+
+
+def load_trace(path):
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises
+    ------
+    ValueError
+        If the archive is missing columns or has a different format
+        version.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        if "__version__" not in archive:
+            raise ValueError(f"{path} is not a repro trace archive")
+        version = int(archive["__version__"][0])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"trace format version mismatch: file has {version},"
+                f" library expects {FORMAT_VERSION}"
+            )
+        name = str(archive["__name__"][0])
+        columns = {col: archive[col] for col, _ in COLUMNS if col in archive}
+    return Trace(columns, name=name)
+
+
+def save_annotated(annotated, path):
+    """Write an :class:`~repro.trace.annotate.AnnotatedTrace` to *path*.
+
+    The annotation's hierarchy/predictor configuration is not persisted
+    (only its results are); the loader restores a default
+    :class:`AnnotationConfig` as a placeholder.
+    """
+    payload = {name: getattr(annotated.trace, name) for name, _ in COLUMNS}
+    for field in ANNOTATION_FIELDS:
+        payload[f"ann_{field}"] = getattr(annotated, field)
+    payload["ann_measure_start"] = np.asarray(
+        [annotated.measure_start], dtype=np.int64
+    )
+    payload["__version__"] = np.asarray([FORMAT_VERSION], dtype=np.int64)
+    payload["__name__"] = np.asarray([annotated.trace.name], dtype=np.str_)
+    np.savez_compressed(path, **payload)
+
+
+def load_annotated(path):
+    """Read an annotated trace written by :func:`save_annotated`."""
+    from repro.trace.annotate import AnnotatedTrace, AnnotationConfig
+
+    with np.load(path, allow_pickle=False) as archive:
+        if "__version__" not in archive or "ann_measure_start" not in archive:
+            raise ValueError(f"{path} is not a repro annotated-trace archive")
+        version = int(archive["__version__"][0])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"annotation format version mismatch: file has {version},"
+                f" library expects {FORMAT_VERSION}"
+            )
+        name = str(archive["__name__"][0])
+        columns = {col: archive[col] for col, _ in COLUMNS}
+        fields = {
+            field: archive[f"ann_{field}"] for field in ANNOTATION_FIELDS
+        }
+        measure_start = int(archive["ann_measure_start"][0])
+    return AnnotatedTrace(
+        trace=Trace(columns, name=name),
+        measure_start=measure_start,
+        config=AnnotationConfig(),
+        **fields,
+    )

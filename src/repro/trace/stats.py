@@ -1,0 +1,96 @@
+"""Trace statistics.
+
+Covers the workload characterisation the paper reports: instruction mix,
+dynamic serializing-instruction share (Section 3.2.2 notes CASA is >0.6%
+of SPECjbb2000), off-chip miss rate per 100 instructions, and inter-miss
+distances (the clustering analysis of Section 2.3 / Figure 2).
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.isa.opclass import OpClass
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a (possibly annotated) trace."""
+
+    name: str
+    length: int
+    opclass_counts: dict
+    serializing_fraction: float
+    branch_fraction: float
+    load_fraction: float
+    store_fraction: float
+    prefetch_fraction: float
+    dmisses: int
+    imisses: int
+    miss_rate_per_100: float
+    mean_intermiss_distance: float
+
+    def format(self):
+        """Render the statistics as a small human-readable table."""
+        lines = [
+            f"trace {self.name}: {self.length} instructions",
+            f"  loads {self.load_fraction:6.2%}   stores {self.store_fraction:6.2%}"
+            f"   branches {self.branch_fraction:6.2%}",
+            f"  prefetches {self.prefetch_fraction:6.2%}"
+            f"   serializing {self.serializing_fraction:6.2%}",
+            f"  off-chip: {self.dmisses} data misses, {self.imisses} fetch misses"
+            f"  ({self.miss_rate_per_100:.2f} per 100 insts)",
+            f"  mean inter-miss distance {self.mean_intermiss_distance:.1f} insts",
+        ]
+        return "\n".join(lines)
+
+
+def intermiss_distances(miss_indices):
+    """Return distances (in dynamic instructions) between consecutive misses.
+
+    *miss_indices* is a sorted integer array of trace positions at which an
+    off-chip access occurred.
+    """
+    indices = np.asarray(miss_indices, dtype=np.int64)
+    if len(indices) < 2:
+        return np.empty(0, dtype=np.int64)
+    return np.diff(indices)
+
+
+def compute_stats(trace, dmiss_mask=None, imiss_mask=None):
+    """Compute :class:`TraceStats` for *trace*.
+
+    *dmiss_mask*/*imiss_mask* are boolean arrays from the annotation
+    pipeline; when omitted the off-chip statistics are reported as zero.
+    """
+    n = len(trace)
+    counts = trace.opclass_counts()
+
+    def frac(*ops):
+        return sum(counts.get(op, 0) for op in ops) / n if n else 0.0
+
+    if dmiss_mask is None:
+        dmiss_mask = np.zeros(n, dtype=bool)
+    if imiss_mask is None:
+        imiss_mask = np.zeros(n, dtype=bool)
+    dmisses = int(np.count_nonzero(dmiss_mask))
+    imisses = int(np.count_nonzero(imiss_mask))
+    total_misses = dmisses + imisses
+    miss_indices = np.nonzero(np.asarray(dmiss_mask) | np.asarray(imiss_mask))[0]
+    distances = intermiss_distances(miss_indices)
+    mean_distance = float(distances.mean()) if len(distances) else float("inf")
+
+    return TraceStats(
+        name=trace.name,
+        length=n,
+        opclass_counts=counts,
+        serializing_fraction=frac(OpClass.CAS, OpClass.LDSTUB, OpClass.MEMBAR),
+        branch_fraction=frac(OpClass.BRANCH),
+        load_fraction=frac(OpClass.LOAD, OpClass.CAS, OpClass.LDSTUB),
+        store_fraction=frac(OpClass.STORE),
+        prefetch_fraction=frac(OpClass.PREFETCH),
+        dmisses=dmisses,
+        imisses=imisses,
+        miss_rate_per_100=100.0 * total_misses / n if n else 0.0,
+        mean_intermiss_distance=mean_distance,
+    )

@@ -1,0 +1,16 @@
+"""Value-prediction substrate (paper Section 5.5 / Table 6).
+
+The paper evaluates a 16K-entry last-value predictor applied *only to
+missing loads* — predicting the value of a load that left the chip lets
+dependent missing loads issue in the same epoch.  A perfect variant
+backs the limit study of Section 5.6.
+"""
+
+from repro.vpred.last_value import LastValuePredictor, ValuePredictorStats
+from repro.vpred.perfect import PerfectValuePredictor
+
+__all__ = [
+    "LastValuePredictor",
+    "ValuePredictorStats",
+    "PerfectValuePredictor",
+]

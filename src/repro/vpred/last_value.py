@@ -1,0 +1,121 @@
+"""16K-entry last-value predictor for missing loads.
+
+Indexed by load PC, tagged, each entry remembers the last value the load
+produced together with a 2-bit confidence counter.  A prediction is made
+only at high confidence; low-confidence lookups are "no predict", which
+is how the paper's Table 6 splits outcomes into Correct / Wrong /
+No Predict.
+
+Because the predictor is consulted only for *missing* loads (Section 3.6
+argues this "drastically reduces the size of the value predictor"), its
+training stream is the miss stream, not every load.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class ValuePredictorStats:
+    """Outcome counters in the shape of the paper's Table 6."""
+
+    correct: int = 0
+    wrong: int = 0
+    no_predict: int = 0
+
+    @property
+    def lookups(self):
+        return self.correct + self.wrong + self.no_predict
+
+    def rates(self):
+        """Return (correct, wrong, no_predict) as fractions of lookups."""
+        total = self.lookups
+        if not total:
+            return (0.0, 0.0, 1.0)
+        return (
+            self.correct / total,
+            self.wrong / total,
+            self.no_predict / total,
+        )
+
+    def format(self):
+        """One-line correct/wrong/no-predict rendering."""
+        correct, wrong, nopred = self.rates()
+        return (
+            f"correct {correct:5.1%}  wrong {wrong:5.1%}"
+            f"  no-predict {nopred:5.1%}  ({self.lookups} missing loads)"
+        )
+
+
+class _Entry:
+    __slots__ = ("tag", "value", "confidence")
+
+    def __init__(self, tag, value):
+        self.tag = tag
+        self.value = value
+        self.confidence = 1
+
+
+class LastValuePredictor:
+    """Direct-mapped, tagged last-value predictor with 2-bit confidence.
+
+    Confidence policy: a matching value increments confidence (saturating
+    at 3); a mismatch resets it to 0 and replaces the stored value.
+    Predictions are issued when confidence >= *threshold* (default 2).
+    Tag conflicts evict (direct-mapped).
+    """
+
+    def __init__(self, entries=16 * 1024, threshold=2):
+        if entries & (entries - 1):
+            raise ValueError("value predictor size must be a power of two")
+        self.entries = entries
+        self.threshold = threshold
+        self._mask = entries - 1
+        self._table = [None] * entries
+        self.stats = ValuePredictorStats()
+
+    def _slot(self, pc):
+        word = pc >> 2
+        return word & self._mask, word >> (self.entries.bit_length() - 1)
+
+    def predict(self, pc):
+        """Return the predicted value for the load at *pc*, or None."""
+        index, tag = self._slot(pc)
+        entry = self._table[index]
+        if entry is None or entry.tag != tag:
+            return None
+        if entry.confidence < self.threshold:
+            return None
+        return entry.value
+
+    def train(self, pc, value):
+        """Record the actual *value* produced by the load at *pc*."""
+        index, tag = self._slot(pc)
+        entry = self._table[index]
+        if entry is None or entry.tag != tag:
+            self._table[index] = _Entry(tag, value)
+            return
+        if entry.value == value:
+            if entry.confidence < 3:
+                entry.confidence += 1
+        else:
+            entry.value = value
+            entry.confidence = 0
+
+    def observe(self, pc, value):
+        """Predict-then-train for one missing load; return the outcome.
+
+        Returns one of ``"correct"``, ``"wrong"`` or ``"no_predict"`` and
+        updates :attr:`stats` accordingly.
+        """
+        prediction = self.predict(pc)
+        if prediction is None:
+            outcome = "no_predict"
+            self.stats.no_predict += 1
+        elif prediction == value:
+            outcome = "correct"
+            self.stats.correct += 1
+        else:
+            outcome = "wrong"
+            self.stats.wrong += 1
+        self.train(pc, value)
+        return outcome

@@ -1,0 +1,32 @@
+"""Perfect value prediction for the limit study (Section 5.6).
+
+Every missing load's value is predicted correctly, so register data
+dependences never delay a dependent missing load to a later epoch.  Note
+that even perfect value prediction does *not* resolve a mispredicted
+branch early: the hardware cannot act on an unvalidated predicted value
+for misprediction recovery, which is why ``RAE.perfVP`` and
+``RAE.perfBP`` improve different epochs and compose super-additively in
+Figure 10.
+"""
+
+from repro.vpred.last_value import ValuePredictorStats
+
+
+class PerfectValuePredictor:
+    """Oracle value predictor: every missing-load lookup is correct."""
+
+    def __init__(self):
+        self.stats = ValuePredictorStats()
+
+    def predict(self, pc):
+        """Unsupported: the oracle is outcome-based (use observe)."""
+        del pc
+        raise NotImplementedError(
+            "perfect prediction is outcome-based; use observe()"
+        )
+
+    def observe(self, pc, value):
+        """Always returns ``"correct"``."""
+        del pc, value
+        self.stats.correct += 1
+        return "correct"

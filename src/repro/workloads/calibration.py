@@ -1,0 +1,134 @@
+"""Published workload characteristics and calibration checking.
+
+The paper reports, per workload, the L2 miss rate, the default-machine
+MLP, the in-order MLPs, the value-predictor accuracy and the share of
+I-miss epoch triggers.  :data:`PAPER_TARGETS` records those numbers;
+:func:`check_calibration` measures the same quantities on a synthetic
+trace and reports how far each is from the paper (within generous bands
+— the goal is the *shape* of the results, not the absolute values of a
+proprietary trace).
+"""
+
+import dataclasses
+
+from repro.trace.annotate import annotate
+from repro.trace.stats import compute_stats
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationTargets:
+    """Published per-workload characteristics (paper Tables 1, 5, 6)."""
+
+    name: str
+    l2_miss_rate_per_100: float  # Table 1 (loads, per 100 insts)
+    mlp_64c: float  # Table 1 / Table 3 at 1000 cycles
+    mlp_stall_on_miss: float  # Table 5
+    mlp_stall_on_use: float  # Table 5
+    vp_correct: float  # Table 6
+    vp_wrong: float
+    imiss_trigger_share: tuple  # Figure 5 (low, high), fraction of epochs
+    serializing_fraction: float  # Section 3.2.2 (SPECjbb: >0.6%)
+
+
+PAPER_TARGETS = {
+    "database": CalibrationTargets(
+        name="database",
+        l2_miss_rate_per_100=0.84,
+        mlp_64c=1.38,
+        mlp_stall_on_miss=1.02,
+        mlp_stall_on_use=1.06,
+        vp_correct=0.42,
+        vp_wrong=0.07,
+        imiss_trigger_share=(0.12, 0.18),
+        serializing_fraction=0.002,
+    ),
+    "specjbb2000": CalibrationTargets(
+        name="specjbb2000",
+        l2_miss_rate_per_100=0.19,
+        mlp_64c=1.13,
+        mlp_stall_on_miss=1.00,
+        mlp_stall_on_use=1.01,
+        vp_correct=0.20,
+        vp_wrong=0.03,
+        imiss_trigger_share=(0.0, 0.02),
+        serializing_fraction=0.006,
+    ),
+    "specweb99": CalibrationTargets(
+        name="specweb99",
+        l2_miss_rate_per_100=0.09,
+        mlp_64c=1.28,
+        mlp_stall_on_miss=1.10,
+        mlp_stall_on_use=1.13,
+        vp_correct=0.25,
+        vp_wrong=0.05,
+        imiss_trigger_share=(0.10, 0.13),
+        serializing_fraction=0.0005,
+    ),
+}
+
+
+@dataclasses.dataclass
+class CalibrationReport:
+    """Measured-vs-target characteristics for one synthetic trace."""
+
+    name: str
+    measured_miss_rate: float
+    target_miss_rate: float
+    measured_serializing: float
+    target_serializing: float
+    measured_vp_correct: float
+    target_vp_correct: float
+    measured_imiss_per_100: float
+
+    def format(self):
+        """Multi-line measured-vs-paper rendering."""
+        return "\n".join(
+            [
+                f"calibration[{self.name}]",
+                f"  L2 load miss rate /100: measured"
+                f" {self.measured_miss_rate:.3f} vs paper"
+                f" {self.target_miss_rate:.2f}",
+                f"  serializing fraction:   measured"
+                f" {self.measured_serializing:.4f} vs paper"
+                f" ~{self.target_serializing:.4f}",
+                f"  VP correct on misses:   measured"
+                f" {self.measured_vp_correct:.2%} vs paper"
+                f" {self.target_vp_correct:.0%}",
+                f"  I-misses /100 insts:    {self.measured_imiss_per_100:.3f}",
+            ]
+        )
+
+
+def check_calibration(trace, annotated=None):
+    """Measure the calibration quantities of *trace* against the paper.
+
+    Returns a :class:`CalibrationReport`.  *annotated* may be passed to
+    reuse an existing annotation.
+    """
+    if trace.name not in PAPER_TARGETS:
+        raise ValueError(f"no calibration targets for workload {trace.name!r}")
+    target = PAPER_TARGETS[trace.name]
+    ann = annotated or annotate(trace)
+    start = ann.measure_start
+    measured = len(trace) - start
+    stats = compute_stats(trace, dmiss_mask=ann.dmiss, imiss_mask=ann.imiss)
+
+    import numpy as np
+
+    region = slice(start, len(trace))
+    dmisses = int(np.count_nonzero(ann.dmiss[region]))
+    imisses = int(np.count_nonzero(ann.imiss[region]))
+    vp = ann.vp_outcome[region]
+    lookups = int(np.count_nonzero(vp >= 0))
+    correct = int(np.count_nonzero(vp == 0))
+
+    return CalibrationReport(
+        name=trace.name,
+        measured_miss_rate=100.0 * dmisses / measured if measured else 0.0,
+        target_miss_rate=target.l2_miss_rate_per_100,
+        measured_serializing=stats.serializing_fraction,
+        target_serializing=target.serializing_fraction,
+        measured_vp_correct=correct / lookups if lookups else 0.0,
+        target_vp_correct=target.vp_correct,
+        measured_imiss_per_100=100.0 * imisses / measured if measured else 0.0,
+    )

@@ -1,0 +1,187 @@
+"""Static code generation for synthetic workloads.
+
+Commercial applications execute a large static code base with heavy
+reuse of a hot core plus a long tail of rarely-touched functions.  To
+reproduce the instruction-fetch behaviour (I-cache and L2-I misses,
+gshare training), each workload builds a :class:`CodeFootprint` at
+setup: a set of *functions* with fixed base addresses and fixed
+instruction *templates*.  Every dynamic call of a function replays its
+template at the same PCs with the same register pattern, so the branch
+predictor, BTB and I-caches see a stable static program — only the data
+addresses, loaded values and branch outcomes vary per instance, driven
+by the site models of :mod:`repro.workloads.synthesis`.
+
+Template operations (kind, operands):
+
+* ``("alu", dst, src1, src2)`` — register computation;
+* ``("load", dst, addr_reg, kind)`` — data load; *kind* selects the
+  hot/warm region the instance address is drawn from;
+* ``("store", data_reg, addr_reg, kind)`` — data store, same kinds;
+* ``("branch", skip)`` — conditional forward branch over the next
+  *skip* template slots when taken (outcome drawn from the branch-site
+  model);
+* ``("nop",)``.
+"""
+
+from repro.workloads.synthesis import ZipfSampler
+
+#: Scratch registers used inside function templates.
+SCRATCH_REGS = tuple(range(16, 48))
+
+#: Base registers holding region pointers (set up implicitly; reads from
+#: them never stall because they are written by nothing in the trace).
+HOT_BASE = 1
+WARM_BASE = 2
+COLD_BASE = 3
+
+
+class FunctionTemplate:
+    """One function: a fixed instruction template at a fixed address."""
+
+    __slots__ = ("base_pc", "ops")
+
+    def __init__(self, base_pc, ops):
+        self.base_pc = base_pc
+        self.ops = ops
+
+    def __len__(self):
+        return len(self.ops)
+
+
+def build_template(rng, length, load_fraction=0.22, store_fraction=0.08,
+                   branch_fraction=0.16, warm_share=0.3):
+    """Generate a function body template of *length* operations.
+
+    The mix defaults approximate integer server code: roughly a fifth
+    loads, a sixth branches, the rest ALU.  ``warm_share`` is the share
+    of memory operations directed at the warm (L2-resident) region
+    rather than the hot (L1-resident) one.
+    """
+    ops = []
+    live = list(rng.sample(SCRATCH_REGS, 8))
+    for position in range(length):
+        roll = rng.random()
+        kind_roll = rng.random()
+        region = "warm" if kind_roll < warm_share else "hot"
+        if roll < load_fraction:
+            dst = rng.choice(SCRATCH_REGS)
+            ops.append(("load", dst, rng.choice(live), region))
+            live[rng.randrange(len(live))] = dst
+        elif roll < load_fraction + store_fraction:
+            ops.append(("store", rng.choice(live), rng.choice(live), region))
+        elif roll < load_fraction + store_fraction + branch_fraction:
+            remaining = length - position - 1
+            skip = min(rng.randrange(1, 6), remaining)
+            if skip > 0:
+                ops.append(("branch", skip, rng.choice(live)))
+            else:
+                ops.append(("nop",))
+        else:
+            dst = rng.choice(SCRATCH_REGS)
+            ops.append(("alu", dst, rng.choice(live), rng.choice(live)))
+            live[rng.randrange(len(live))] = dst
+    return ops
+
+
+class CodeFootprint:
+    """The static program: functions, addresses and call-site sampling.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness for the static layout.
+    num_functions:
+        Static function count; together with the body length this sets
+        the instruction footprint (one op = 4 bytes).
+    body_length:
+        Mean template length (actual lengths vary ±40%).
+    zipf_exponent:
+        Skew of the call distribution; ~1.0 mimics commercial reuse.
+    code_base:
+        Base address of the code region.
+    mix:
+        Extra keyword arguments forwarded to :func:`build_template`.
+    """
+
+    def __init__(self, rng, num_functions, body_length, zipf_exponent=1.0,
+                 code_base=0x0100_0000, template_pool=None, **mix):
+        pool = []
+        pool_size = template_pool or num_functions
+        for _ in range(pool_size):
+            length = max(6, int(body_length * rng.uniform(0.6, 1.4)))
+            pool.append(build_template(rng, length, **mix))
+        self.functions = []
+        pc = code_base
+        for index in range(num_functions):
+            # Large footprints share body templates (the I-caches and
+            # predictors only see PCs, which stay unique per function).
+            ops = pool[index % pool_size]
+            self.functions.append(FunctionTemplate(pc, ops))
+            # Functions start on fresh lines so footprints are honest.
+            pc += (len(ops) * 4 + 127) & ~63
+        self.code_base = code_base
+        self.code_end = pc
+        self._sampler = ZipfSampler(num_functions, exponent=zipf_exponent)
+
+    @property
+    def footprint_bytes(self):
+        """Total static code size."""
+        return self.code_end - self.code_base
+
+    def sample(self, rng):
+        """Draw a function index from the Zipf call distribution."""
+        return self._sampler.sample(rng)
+
+    def call(self, em, rng, context, function_index=None):
+        """Emit one dynamic execution of a function.
+
+        *context* supplies the data behaviour: ``hot``/``warm`` regions,
+        ``values`` (:class:`ValueSites`) and ``branches``
+        (:class:`BranchSites`).  Returns the number of instructions
+        emitted (including the call and return jumps).
+        """
+        if function_index is None:
+            function_index = self._sampler.sample(rng)
+        function = self.functions[function_index]
+        return_pc = em.pc + 4
+        before = len(em)
+        em.jump(function.base_pc)
+
+        hot = context["hot"]
+        warm = context["warm"]
+        values = context["values"]
+        branches = context["branches"]
+
+        ops = function.ops
+        index = 0
+        n = len(ops)
+        while index < n:
+            op = ops[index]
+            kind = op[0]
+            pc = function.base_pc + index * 4
+            if em.pc != pc:
+                em.pc = pc
+            if kind == "alu":
+                em.alu(op[1], op[2], op[3])
+                index += 1
+            elif kind == "load":
+                region = hot if op[3] == "hot" else warm
+                addr = region.random_addr(rng)
+                em.load(op[1], addr, src1=op[2],
+                        value=values.value(rng, pc))
+                index += 1
+            elif kind == "store":
+                region = hot if op[3] == "hot" else warm
+                addr = region.random_addr(rng)
+                em.store(addr, data_src=op[1], src1=op[2])
+                index += 1
+            elif kind == "branch":
+                taken = branches.outcome(rng, pc)
+                target = pc + 4 * (op[1] + 1)
+                em.branch(taken, target, src1=op[2])
+                index += op[1] + 1 if taken else 1
+            else:  # nop
+                em.nop()
+                index += 1
+        em.jump(return_pc)
+        return len(em) - before

@@ -1,0 +1,100 @@
+"""The paper's worked Examples 1-5 as reusable annotated traces.
+
+Section 3 of the paper illustrates the window termination conditions
+with five small instruction sequences, listing the exact epoch sets and
+(for Examples 1-3) the resulting MLP.  These constructions are shared
+by the unit tests (which assert the paper's numbers verbatim) and by
+``examples/epoch_model_tour.py``.
+
+Each ``example_n()`` returns an :class:`AnnotatedTrace` whose event
+flags (Dmiss / Imiss / Mispred) are placed exactly where the paper
+says, via :func:`repro.trace.annotate.manual_annotation`.
+"""
+
+from repro.trace.annotate import manual_annotation
+from repro.trace.builder import TraceBuilder
+
+
+def example_1():
+    """Example 1: issue window / ROB size (window of 4 terminates at i4).
+
+    Paper epoch sets: {i1, i4}, {i2, i3, i5}; MLP = (1+2)/2 = 1.5.
+    Run with ``MachineConfig.named("4C")``.
+    """
+    b = TraceBuilder("example1")
+    b.add_load(0x100, dst=2, addr=0x8000, src1=1)  # i1 Dmiss
+    b.add_alu(0x104, dst=4, src1=2, src2=3)  # i2
+    b.add_load(0x108, dst=5, addr=0x9000, src1=4)  # i3 Dmiss
+    b.add_alu(0x10C, dst=2, src1=0, src2=1)  # i4
+    b.add_load(0x110, dst=8, addr=0xA000, src1=7)  # i5 Dmiss
+    return manual_annotation(b.build(), dmiss_at=[0, 2, 4])
+
+
+def example_2():
+    """Example 2: a MEMBAR terminates the window.
+
+    Paper epoch sets: {i1, i2}, {i3, i4, i5}; MLP = (1+2)/2 = 1.5.
+    """
+    b = TraceBuilder("example2")
+    b.add_load(0x100, dst=2, addr=0x8000, src1=1)  # i1 Dmiss
+    b.add_membar(0x104)  # i2
+    b.add_alu(0x108, dst=4, src1=2, src2=3)  # i3
+    b.add_load(0x10C, dst=5, addr=0x9000, src1=4)  # i4 Dmiss
+    b.add_load(0x110, dst=8, addr=0xA000, src1=7)  # i5 Dmiss
+    return manual_annotation(b.build(), dmiss_at=[0, 3, 4])
+
+
+def example_3():
+    """Example 3: Imiss and an unresolvable mispredicted branch.
+
+    Paper epoch sets: {i1, i2*}, {i2, i3}, {i4, i5} (i2 fetched in epoch
+    1, executed in epoch 2); MLP = (2+1+1)/3 = 1.33.
+    """
+    b = TraceBuilder("example3")
+    b.add_load(0x100, dst=2, addr=0x8000, src1=1)  # i1 Dmiss
+    b.add_alu(0x104, dst=4, src1=2, src2=3)  # i2 Imiss
+    b.add_load(0x108, dst=5, addr=0x9000, src1=4)  # i3 Dmiss
+    b.add_branch(0x10C, taken=True, target=0x200, src1=5)  # i4 Mispred
+    b.add_load(0x200, dst=8, addr=0xA000, src1=7)  # i5 Dmiss
+    return manual_annotation(
+        b.build(), dmiss_at=[0, 2, 4], imiss_at=[1], mispred_at=[3]
+    )
+
+
+def example_4():
+    """Example 4: load issue policies (Section 3.4.1).
+
+    Paper epoch sets: policy 1 (config A) {i1},{i2,i3},{i4,i5};
+    policy 2 (B) {i1,i3},{i2},{i4,i5}; policy 3 (C) {i1,i3,i5},{i2},{i4}.
+    """
+    b = TraceBuilder("example4")
+    b.add_load(0x100, dst=2, addr=0x8008, src1=1)  # i1 Dmiss
+    b.add_load(0x104, dst=3, addr=0x9000, src1=2)  # i2 Dmiss (dep on i1)
+    b.add_load(0x108, dst=4, addr=0x8108, src1=1)  # i3 Dmiss
+    b.add_store(0x10C, addr=0x9000, data_src=5, src1=3)  # i4 store 0(r3)
+    b.add_load(0x110, dst=6, addr=0x8388, src1=1)  # i5 Dmiss
+    return manual_annotation(b.build(), dmiss_at=[0, 1, 2, 4])
+
+
+def example_5():
+    """Example 5: branch issue policies (Section 3.4.2).
+
+    Paper epoch sets: in-order branches {i1},{i2,i3,i4};
+    out-of-order branches {i1,i3,i4},{i2}.
+    """
+    b = TraceBuilder("example5")
+    b.add_load(0x100, dst=2, addr=0x8008, src1=1)  # i1 Dmiss
+    b.add_branch(0x104, taken=False, target=0x1100, src1=2)  # i2 (dep i1)
+    b.add_branch(0x108, taken=False, target=0x11FF, src1=1)  # i3 Mispred
+    b.add_load(0x10C, dst=4, addr=0x8108, src1=1)  # i4 Dmiss
+    return manual_annotation(b.build(), dmiss_at=[0, 3], mispred_at=[2])
+
+
+#: All examples, keyed by their paper number.
+EXAMPLES = {
+    1: example_1,
+    2: example_2,
+    3: example_3,
+    4: example_4,
+    5: example_5,
+}

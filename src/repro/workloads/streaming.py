@@ -1,0 +1,112 @@
+"""A scientific/streaming workload — the paper's *contrast* case.
+
+The paper's introduction distinguishes commercial applications from
+"media processing and scientific floating-point intensive applications"
+whose regular access patterns conventional techniques already handle.
+This generator synthesises that contrast case: a triad-style streaming
+kernel (``a[i] = b[i] + s * c[i]``) over arrays far larger than the L2,
+plus a small reduction loop.
+
+Its properties are the mirror image of the commercial workloads:
+
+* misses are dense, perfectly sequential and mutually independent —
+  a stride prefetcher covers nearly all of them
+  (``repro.memory.prefetcher``);
+* there are no serializing instructions, no I-misses and almost no
+  mispredictions (the loop branches are perfectly biased);
+* even a modest out-of-order window exposes large MLP, and in-order
+  stall-on-use already overlaps several misses.
+
+It is not one of the paper's benchmarks; it exists so the library can
+demonstrate the premise of Section 1 quantitatively (see the
+``intro_contrast`` ablation).
+"""
+
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.synthesis import BranchSites, Region, ValueSites
+
+_PTR_B = 8  # streaming source pointers
+_PTR_C = 9
+_ACC = 10  # accumulator / computed element
+_SUM = 11  # reduction register
+_CTR = 5
+
+
+class StreamingWorkload(SyntheticWorkload):
+    """Triad-style streaming kernel over >L2 arrays."""
+
+    name = "streaming"
+
+    def __init__(self, seed=1234, chunk_iterations=(48, 96),
+                 reduction_iterations=(16, 32), compute_per_element=3):
+        super().__init__(seed=seed)
+        self.chunk_iterations = chunk_iterations
+        self.reduction_iterations = reduction_iterations
+        self.compute_per_element = compute_per_element
+
+    def setup(self, rng):
+        self.hot = Region(0x1000_0000, 8 * 1024)
+        self.array_b = Region(0x4000_0000, 256 * 1024 * 1024)
+        self.array_c = Region(0x5000_0000, 256 * 1024 * 1024)
+        self.array_a = Region(0x6000_0000, 256 * 1024 * 1024)
+        self.values = ValueSites(repeat_prob=0.05)  # FP data: no locality
+        self.branches = BranchSites()
+        self.txn_base = 0x0080_0000
+        self.triad_base = 0x0081_0100
+        self.reduce_base = 0x0082_0200
+        self._b_elem = 0
+        self._c_elem = 0
+        self._a_elem = 0
+
+    def _triad(self, em, rng):
+        """One cache-line-granular triad chunk at fixed PCs.
+
+        Each iteration loads one element of ``b`` and ``c`` and stores
+        one of ``a``; elements advance sequentially, so a new line is
+        touched every 8 iterations — dense, regular, independent misses.
+        """
+        ret = em.call_block(self.triad_base)
+        iterations = rng.randint(*self.chunk_iterations)
+        head = em.pc
+        for k in range(iterations):
+            em.pc = head
+            b_addr = self.array_b.base + 8 * self._b_elem
+            c_addr = self.array_c.base + 8 * self._c_elem
+            a_addr = self.array_a.base + 8 * self._a_elem
+            self._b_elem = (self._b_elem + 1) % (self.array_b.size // 8)
+            self._c_elem = (self._c_elem + 1) % (self.array_c.size // 8)
+            self._a_elem = (self._a_elem + 1) % (self.array_a.size // 8)
+            em.load(_ACC, b_addr, src1=_PTR_B,
+                    value=self.values.value(rng, em.pc))
+            em.load(_ACC + 1, c_addr, src1=_PTR_C,
+                    value=self.values.value(rng, em.pc))
+            for c in range(self.compute_per_element):
+                em.alu(_ACC, _ACC, _ACC + 1)
+            em.store(a_addr, data_src=_ACC, src1=_PTR_B)
+            em.alu(_PTR_B, _PTR_B, 1)
+            em.alu(_PTR_C, _PTR_C, 1)
+            em.branch(k + 1 < iterations, head, src1=_CTR)
+        em.jump(ret)
+
+    def _reduce(self, em, rng):
+        """A dependent reduction over hot data (the on-chip phase)."""
+        ret = em.call_block(self.reduce_base)
+        iterations = rng.randint(*self.reduction_iterations)
+        head = em.pc
+        for k in range(iterations):
+            em.pc = head
+            em.load(_ACC, self.hot.random_addr(rng), src1=1,
+                    value=self.values.value(rng, em.pc))
+            em.alu(_SUM, _SUM, _ACC)
+            em.branch(k + 1 < iterations, head, src1=_CTR)
+        em.jump(ret)
+
+    def emit_transaction(self, em, rng):
+        base = self.txn_base
+        em.jump(base)
+        em.pc = base
+        self._triad(em, rng)  # call site base+0, returns base+4
+        em.pc = base + 4
+        self._reduce(em, rng)  # call site base+4, returns base+8
+        em.pc = base + 8
+        em.alu(_CTR, _CTR, 7)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite.
+
+Workload traces are expensive to generate and annotate, so the fixtures
+are session-scoped and sized by ``REPRO_TEST_TRACE_LEN`` (default
+120,000 instructions — enough for stable shape assertions, small enough
+to keep the suite fast).
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.trace.annotate import annotate
+from repro.workloads import generate_trace
+
+TEST_TRACE_LEN = int(os.environ.get("REPRO_TEST_TRACE_LEN", "120000"))
+
+
+@pytest.fixture(scope="session")
+def trace_len():
+    return TEST_TRACE_LEN
+
+
+def _annotated(name):
+    return annotate(generate_trace(name, TEST_TRACE_LEN))
+
+
+@pytest.fixture(scope="session")
+def database_annotated():
+    return _annotated("database")
+
+
+@pytest.fixture(scope="session")
+def specjbb_annotated():
+    return _annotated("specjbb2000")
+
+
+@pytest.fixture(scope="session")
+def specweb_annotated():
+    return _annotated("specweb99")
+
+
+@pytest.fixture(scope="session")
+def all_annotated(database_annotated, specjbb_annotated, specweb_annotated):
+    return {
+        "database": database_annotated,
+        "specjbb2000": specjbb_annotated,
+        "specweb99": specweb_annotated,
+    }
+
+
+@pytest.fixture
+def default_machine():
+    return MachineConfig()  # the paper's 64C machine

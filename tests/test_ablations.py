@@ -1,0 +1,81 @@
+"""Structural tests for the ablation harnesses."""
+
+import pytest
+
+from repro.experiments.ablations import ABLATIONS, run_ablation
+from repro.experiments.common import clear_caches
+
+SMALL = 30000
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def test_registry():
+    assert set(ABLATIONS) == {
+        "mshr",
+        "store_buffer",
+        "slow_bp",
+        "runahead_distance",
+        "hw_prefetch",
+        "intro_contrast",
+    }
+    with pytest.raises(ValueError):
+        run_ablation("nonsense")
+
+
+def test_mshr_sweep_monotone():
+    ex = run_ablation("mshr", trace_len=SMALL, sizes=(1, 4, None))
+    for row in ex.table(0):
+        series = row[2:]
+        for a, b in zip(series, series[1:]):
+            assert a <= b + 1e-9
+        assert series[0] == pytest.approx(1.0, abs=0.08)
+
+
+def test_store_buffer_sweep(trace_len=SMALL):
+    ex = run_ablation("store_buffer", trace_len=SMALL, sizes=(1, None))
+    for _, headers, rows in ex.tables:
+        finite, infinite = rows[0], rows[-1]
+        assert finite[1] <= infinite[1] + 1e-9  # MLP never helped by a cap
+        assert finite[2] <= 1.0 + 1e-9  # 1-entry SB: store MLP <= 1
+        assert infinite[4] == 0  # infinite SB never blocks
+
+
+def test_slow_bp_sweep_bounded_by_perfect():
+    ex = run_ablation("slow_bp", trace_len=SMALL, accuracies=(0.0, 1.0))
+    for row in ex.table(0):
+        base, full, perfect = row[1], row[2], row[3]
+        assert base <= full + 1e-9
+        assert full <= perfect + 1e-9
+
+
+def test_runahead_distance_monotone():
+    ex = run_ablation(
+        "runahead_distance", trace_len=SMALL, distances=(64, 256, 1024)
+    )
+    for row in ex.table(0):
+        series = row[1:]
+        for a, b in zip(series, series[1:]):
+            assert a <= b + 1e-9
+
+
+def test_hw_prefetch_structure():
+    ex = run_ablation("hw_prefetch", trace_len=SMALL)
+    rows = ex.table(0)
+    assert len(rows) == 6  # 3 workloads x 2 prefetchers
+    for row in rows:
+        assert row[3] <= row[2] * 1.2  # prefetching rarely adds misses
+        assert 0.0 <= row[5] <= 1.0  # accuracy is a fraction
+
+
+def test_intro_contrast_shows_the_gap():
+    ex = run_ablation("intro_contrast", trace_len=SMALL)
+    rows = {row[0]: row for row in ex.table(0)}
+    assert rows["streaming"][1] > 0.85  # stride coverage
+    for name in ("Database", "SPECjbb2000"):
+        assert rows[name][1] < 0.3

@@ -1,0 +1,134 @@
+"""Tests for the analysis helpers: clustering, sweeps, tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import (
+    clustering_curves,
+    cumulative_intermiss_distribution,
+    uniform_intermiss_distribution,
+)
+from repro.analysis.sweep import sweep
+from repro.analysis.tables import format_table
+from repro.core.config import MachineConfig
+from repro.trace.annotate import manual_annotation
+from repro.trace.builder import TraceBuilder
+
+
+class TestClusteringMath:
+    def test_empirical_cdf(self):
+        misses = np.array([0, 2, 4, 104])
+        dist = cumulative_intermiss_distribution(misses, [1, 2, 10, 100])
+        # Gaps are [2, 2, 100].
+        assert dist == pytest.approx([0, 2 / 3, 2 / 3, 1.0])
+
+    def test_uniform_model_is_geometric(self):
+        dist = uniform_intermiss_distribution(10.0, [1, 10, 100])
+        assert dist[0] == pytest.approx(0.1)
+        assert dist[1] == pytest.approx(1 - 0.9**10)
+        assert dist[2] > 0.999
+
+    def test_no_misses(self):
+        assert cumulative_intermiss_distribution([], [1, 2]).tolist() == [0, 0]
+
+    def test_clustered_trace_diverges_from_uniform(self):
+        # Misses in tight bursts separated by long gaps.
+        b = TraceBuilder("bursty")
+        pc = 0x100
+        dmiss = []
+        index = 0
+        for burst in range(6):
+            for k in range(5):
+                dmiss.append(index)
+                b.add_load(pc, dst=2, addr=0x8000 + 64 * index, src1=1)
+                pc += 4
+                index += 1
+            for _ in range(200):
+                b.add_alu(pc, dst=3, src1=1)
+                pc += 4
+                index += 1
+        ann = manual_annotation(b.build(), dmiss_at=dmiss)
+        curves = clustering_curves(ann)
+        assert curves.divergence() > 0.3
+        # At distance 2 the observed probability is already ~0.8
+        # (4 of every 5 gaps are 1), far above the uniform model.
+        idx = int(np.searchsorted(curves.distances, 2))
+        assert curves.observed[idx] > curves.uniform[idx] + 0.3
+        assert "mean inter-miss" in curves.format()
+
+    def test_uniform_trace_matches_uniform_model(self):
+        # Deterministically spaced misses: the observed CDF is a step
+        # at the fixed gap; check broad agreement at the tails only.
+        b = TraceBuilder("even")
+        pc = 0x100
+        dmiss = []
+        for k in range(40):
+            dmiss.append(len(b._cols["op"]))
+            b.add_load(pc, dst=2, addr=0x8000 + 64 * k, src1=1)
+            pc += 4
+            for _ in range(20):
+                b.add_alu(pc, dst=3, src1=1)
+                pc += 4
+        ann = manual_annotation(b.build(), dmiss_at=dmiss)
+        curves = clustering_curves(ann)
+        idx = int(np.searchsorted(curves.distances, 1000))
+        assert curves.observed[idx] == pytest.approx(1.0)
+        assert curves.uniform[idx] == pytest.approx(1.0, abs=1e-6)
+
+    def test_workload_clustering_beats_uniform(self, specweb_annotated):
+        """The Figure 2 claim on the synthetic workloads."""
+        curves = clustering_curves(specweb_annotated)
+        assert curves.divergence() > 0.1
+
+
+class TestSweep:
+    def test_sweep_runs_grid(self, specjbb_annotated):
+        grid = [
+            ("64A", MachineConfig.named("64A")),
+            ("64E", MachineConfig.named("64E")),
+        ]
+        result = sweep(specjbb_annotated, grid)
+        assert result.labels() == ["64A", "64E"]
+        assert result.mlp("64E") >= result.mlp("64A")
+        series = result.series()
+        assert series[0][0] == "64A"
+
+    def test_relative(self, specjbb_annotated):
+        grid = {
+            "base": MachineConfig.named("64C"),
+            "big": MachineConfig.named("256C"),
+        }
+        result = sweep(specjbb_annotated, grid)
+        rel = result.relative("base")
+        assert rel["base"] == pytest.approx(1.0)
+        assert rel["big"] >= 1.0
+
+    def test_progress_callback(self, specjbb_annotated):
+        seen = []
+        sweep(
+            specjbb_annotated,
+            [("one", MachineConfig.named("16A"))],
+            progress=seen.append,
+        )
+        assert seen == ["one"]
+
+
+class TestTables:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 22.25]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert "1.500" in text and "22.250" in text
+
+    def test_none_renders_empty(self):
+        text = format_table(["a", "b"], [["x", None]])
+        assert text.splitlines()[-1].strip().startswith("x")
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[0.123456]], float_format=".1%")
+        assert "12.3%" in text

@@ -1,0 +1,80 @@
+"""Tests for the terminal chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_basic_rendering(self):
+        text = line_chart(
+            [16, 64, 256],
+            {"A": [1.0, 1.2, 1.4], "E": [1.1, 1.4, 1.8]},
+            title="demo",
+        )
+        assert "demo" in text
+        assert "o=A" in text and "+=E" in text
+        assert "16" in text and "256" in text
+        assert "1.80" in text and "1.00" in text
+
+    def test_extremes_placed_at_edges(self):
+        text = line_chart([0, 1], {"s": [0.0, 10.0]}, height=6, width=10)
+        lines = text.splitlines()
+        plot = [line for line in lines if "|" in line]
+        # Max value on the top row, min on the bottom row.
+        assert "o" in plot[0]
+        assert "o" in plot[-1]
+
+    def test_none_values_skipped(self):
+        text = line_chart([1, 2, 3], {"s": [1.0, None, 2.0]})
+        assert text.count("o") >= 2
+
+    def test_flat_series_does_not_crash(self):
+        text = line_chart([1, 2], {"s": [5.0, 5.0]})
+        assert "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {"s": [None]})
+
+    def test_fixed_width(self):
+        text = line_chart([1, 2, 3], {"s": [1, 2, 3]}, width=30, height=5)
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_lines) == 5
+        assert all(len(l) == len(plot_lines[0]) for l in plot_lines)
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        text = bar_chart(
+            [("db", [("base", 1.0), ("rae", 2.0)])],
+            title="bars",
+        )
+        assert "bars" in text and "db:" in text
+        assert "1.00" in text and "2.00" in text
+
+    def test_bars_scale_to_peak(self):
+        text = bar_chart([("g", [("half", 1.0), ("full", 2.0)])], width=20)
+        lines = [l for l in text.splitlines() if "|" in l]
+        full = lines[1].count("#")
+        half = lines[0].count("#")
+        assert full >= 19  # the peak fills the row (within rounding)
+        assert abs(half - full / 2) <= 1.5
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart([("g", [("zero", 0.0), ("one", 1.0)])])
+        zero_line = next(l for l in text.splitlines() if "zero" in l)
+        assert "#" not in zero_line
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([("g", [])])
+
+    def test_multiple_groups(self):
+        text = bar_chart(
+            [
+                ("first", [("a", 1.0)]),
+                ("second", [("b", 3.0)]),
+            ]
+        )
+        assert "first:" in text and "second:" in text

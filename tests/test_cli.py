@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_machine, build_parser, main
+from repro.core.config import BranchPolicy
+
+
+class TestMachineSpecs:
+    def test_simple_spec(self):
+        m = _parse_machine("64C")
+        assert m.issue_window == 64 and m.issue.name == "C"
+
+    def test_rob_suffix(self):
+        m = _parse_machine("64D/rob256")
+        assert m.rob == 256
+        assert m.issue.branch_policy == BranchPolicy.OUT_OF_ORDER
+
+    def test_runahead(self):
+        m = _parse_machine("RAE")
+        assert m.runahead
+        m = _parse_machine("rae:max_runahead=512")
+        assert m.max_runahead == 512
+
+    def test_options(self):
+        m = _parse_machine("64C:store_buffer=8,max_outstanding=16")
+        assert m.store_buffer == 8 and m.max_outstanding == 16
+
+    def test_boolean_and_float_options(self):
+        m = _parse_machine("64C:slow_branch_predictor=true,slow_bp_accuracy=0.7")
+        assert m.slow_branch_predictor
+        assert m.slow_bp_accuracy == pytest.approx(0.7)
+
+    def test_malformed_option(self):
+        with pytest.raises(ValueError):
+            _parse_machine("64C:store_buffer")
+
+    def test_inorder_spec_rejected(self):
+        with pytest.raises(ValueError):
+            _parse_machine("SOM")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "database"])
+        assert args.workload == "database"
+        assert args.length == 120_000
+
+    def test_workload_or_trace_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate"])
+
+
+class TestCommands:
+    WORKLOAD_ARGS = ["specjbb2000", "-n", "12000"]
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", *self.WORKLOAD_ARGS, "-m", "32C"]) == 0
+        out = capsys.readouterr().out
+        assert "32C" in out and "MLP=" in out
+
+    def test_simulate_in_order_and_flags(self, capsys):
+        code = main(
+            [
+                "simulate",
+                *self.WORKLOAD_ARGS,
+                "--in-order", "both",
+                "--inhibitors",
+                "--store-mlp",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stall-on-miss" in out and "stall-on-use" in out
+        assert "inhibitors:" in out
+
+    def test_generate_and_reload(self, tmp_path, capsys):
+        path = str(tmp_path / "t.npz")
+        assert main(["generate", "database", "-n", "8000", "-o", path]) == 0
+        assert main(["simulate", "--trace", path, "-m", "16A"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 8000 instructions" in out
+        assert "16A" in out
+
+    def test_stats(self, capsys):
+        assert main(["stats", *self.WORKLOAD_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out and "inter-miss" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", *self.WORKLOAD_ARGS]) == 0
+        assert "vs paper" in capsys.readouterr().out
+
+    def test_cyclesim(self, capsys):
+        code = main(
+            ["cyclesim", *self.WORKLOAD_ARGS, "-m", "32C", "--latency", "300"]
+        )
+        assert code == 0
+        assert "CPI=" in capsys.readouterr().out
+
+    def test_exhibit(self, capsys):
+        assert main(["exhibit", "table5", "-n", "12000"]) == 0
+        assert "In-Order" in capsys.readouterr().out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "runahead_distance", "-n", "12000"]) == 0
+        assert "runahead" in capsys.readouterr().out.lower()
+
+    def test_bad_machine_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "database", "-n", "5000", "-m", "64Z"])
+
+
+class TestInspect:
+    def test_inspect_prints_epochs(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "inspect", "specjbb2000", "-n", "12000",
+                "--epochs", "2", "--members", "4", "--window", "2000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "epoch 0:" in out
+        assert "trigger" in out
+        assert "MLP=" in out
+
+    def test_inspect_with_machine_spec(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["inspect", "specjbb2000", "-n", "12000", "-m", "16A",
+             "--epochs", "1", "--window", "1500"]
+        )
+        assert code == 0
+        assert "16A" in capsys.readouterr().out

@@ -1,0 +1,204 @@
+"""Unit tests for the smaller core data structures and helpers."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.epoch import Epoch, TriggerKind, epoch_sets
+from repro.core.mlpsim import MLPSim
+from repro.core.results import MLPResult
+from repro.core.termination import FIGURE5_ORDER, Inhibitor, InhibitorCounts
+from repro.cyclesim.metrics import CycleMetrics, OutstandingTracker
+from repro.trace.stats import compute_stats, intermiss_distances
+from repro.workloads.microbench import EXAMPLES
+
+
+class TestEpoch:
+    def test_requires_an_access(self):
+        with pytest.raises(ValueError):
+            Epoch(index=0, trigger=0, trigger_kind=TriggerKind.DMISS,
+                  accesses=0, inhibitor=Inhibitor.MAXWIN)
+
+    def test_repr_mentions_trigger_and_inhibitor(self):
+        epoch = Epoch(index=1, trigger=5, trigger_kind=TriggerKind.IMISS,
+                      accesses=2, inhibitor=Inhibitor.SERIALIZE,
+                      members=[5, 6])
+        text = repr(epoch)
+        assert "i5" in text and "serialize" in text and "members" in text
+
+    def test_epoch_sets_requires_members(self):
+        epoch = Epoch(index=0, trigger=0, trigger_kind=TriggerKind.DMISS,
+                      accesses=1, inhibitor=Inhibitor.END_OF_TRACE)
+        with pytest.raises(ValueError, match="record_sets"):
+            epoch_sets([epoch])
+
+
+class TestInhibitorCounts:
+    def test_fractions_sum_to_one(self):
+        counts = InhibitorCounts()
+        counts.record(Inhibitor.MAXWIN)
+        counts.record(Inhibitor.SERIALIZE)
+        counts.record(Inhibitor.SERIALIZE)
+        fractions = counts.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions[Inhibitor.SERIALIZE] == pytest.approx(2 / 3)
+
+    def test_end_of_trace_excluded(self):
+        counts = InhibitorCounts()
+        counts.record(Inhibitor.MAXWIN)
+        counts.record(Inhibitor.END_OF_TRACE)
+        assert counts.total() == 1
+        assert counts.total(include_end_of_trace=True) == 2
+        assert counts.fractions()[Inhibitor.MAXWIN] == pytest.approx(1.0)
+
+    def test_extension_inhibitors_fold_into_maxwin(self):
+        counts = InhibitorCounts()
+        counts.record(Inhibitor.MSHR_LIMIT)
+        counts.record(Inhibitor.STORE_BUFFER)
+        counts.record(Inhibitor.RUNAHEAD_LIMIT)
+        assert counts.fractions()[Inhibitor.MAXWIN] == pytest.approx(1.0)
+        raw = counts.as_dict()
+        assert raw[Inhibitor.MSHR_LIMIT] == 1
+        assert raw[Inhibitor.MAXWIN] == 0
+
+    def test_empty_fractions(self):
+        fractions = InhibitorCounts().fractions()
+        assert all(v == 0.0 for v in fractions.values())
+        assert set(fractions) == set(FIGURE5_ORDER)
+
+    def test_getitem(self):
+        counts = InhibitorCounts()
+        counts.record(Inhibitor.IMISS_START)
+        assert counts[Inhibitor.IMISS_START] == 1
+        assert counts[Inhibitor.MAXWIN] == 0
+
+
+class TestMLPResult:
+    def make(self, accesses=6, epochs=3, **kwargs):
+        defaults = dict(
+            workload="w",
+            machine_label="64C",
+            instructions=1000,
+            accesses=accesses,
+            epochs=epochs,
+            dmiss_accesses=accesses,
+            imiss_accesses=0,
+            prefetch_accesses=0,
+            inhibitors=InhibitorCounts(),
+        )
+        defaults.update(kwargs)
+        return MLPResult(**defaults)
+
+    def test_mlp(self):
+        assert self.make().mlp == pytest.approx(2.0)
+        assert self.make(epochs=0, accesses=0).mlp == 0.0
+
+    def test_miss_rate(self):
+        assert self.make().miss_rate_per_100 == pytest.approx(0.6)
+
+    def test_store_mlp(self):
+        result = self.make(store_accesses=8, store_epochs=2)
+        assert result.store_mlp == pytest.approx(4.0)
+        assert self.make().store_mlp == 0.0
+
+    def test_summary(self):
+        text = self.make().summary()
+        assert "MLP=2.000" in text and "64C" in text
+
+
+class TestOutstandingTracker:
+    def test_integrates_piecewise(self):
+        t = OutstandingTracker()
+        t.add(0, 1)  # 1 outstanding from cycle 0
+        t.add(10, 1)  # 2 outstanding from cycle 10
+        t.add(30, -2)  # idle from cycle 30
+        t.advance(50)
+        assert t.nonzero_cycles == 30
+        assert t.integral == 10 * 1 + 20 * 2
+        assert t.count == 0
+
+    def test_idle_time_not_counted(self):
+        t = OutstandingTracker()
+        t.advance(100)
+        assert t.nonzero_cycles == 0
+        t.add(100, 1)
+        t.add(110, -1)
+        assert t.nonzero_cycles == 10
+
+    def test_negative_count_rejected(self):
+        t = OutstandingTracker()
+        with pytest.raises(RuntimeError):
+            t.add(0, -1)
+
+
+class TestCycleMetrics:
+    def test_derived_quantities(self):
+        metrics = CycleMetrics(workload="w", label="64C")
+        metrics.instructions = 1000
+        metrics.cycles = 2000
+        metrics.offchip_accesses = 10
+        metrics.nonzero_cycles = 500
+        metrics.outstanding_integral = 750
+        assert metrics.cpi == pytest.approx(2.0)
+        assert metrics.ipc == pytest.approx(0.5)
+        assert metrics.mlp == pytest.approx(1.5)
+        assert metrics.miss_rate_per_100 == pytest.approx(1.0)
+
+    def test_empty_metrics(self):
+        metrics = CycleMetrics(workload="w", label="x")
+        assert metrics.cpi == 0.0 and metrics.mlp == 0.0
+
+
+class TestTraceStats:
+    def test_intermiss_distances(self):
+        assert list(intermiss_distances([3, 10, 11])) == [7, 1]
+        assert len(intermiss_distances([5])) == 0
+
+    def test_compute_stats_format(self, specjbb_annotated):
+        ann = specjbb_annotated
+        stats = compute_stats(ann.trace, dmiss_mask=ann.dmiss,
+                              imiss_mask=ann.imiss)
+        text = stats.format()
+        assert "loads" in text and "off-chip" in text
+        assert stats.dmisses > 0
+
+    def test_compute_stats_without_masks(self, specjbb_annotated):
+        stats = compute_stats(specjbb_annotated.trace)
+        assert stats.dmisses == 0
+        assert stats.mean_intermiss_distance == float("inf")
+
+
+class TestMicrobench:
+    def test_all_examples_build(self):
+        for number, build in EXAMPLES.items():
+            annotated = build()
+            assert len(annotated.trace) >= 4, number
+            assert annotated.dmiss.any(), number
+
+    def test_examples_are_fresh_objects(self):
+        a = EXAMPLES[1]()
+        b = EXAMPLES[1]()
+        assert a is not b
+
+    def test_example_docstrings_cite_epoch_sets(self):
+        for build in EXAMPLES.values():
+            assert "epoch sets" in build.__doc__.lower()
+
+
+class TestRecordSetsPlumbing:
+    def test_runahead_records_trigger_members(self, database_annotated):
+        result = MLPSim(
+            MachineConfig.runahead_machine(), record_sets=True
+        ).run(database_annotated)
+        assert result.epoch_records
+        for epoch in result.epoch_records[:20]:
+            assert epoch.members is not None
+            assert epoch.accesses == len(epoch.members)
+
+    def test_ooo_member_counts_at_least_accesses(self, specweb_annotated):
+        result = MLPSim(MachineConfig.named("64C"), record_sets=True).run(
+            specweb_annotated
+        )
+        for epoch in result.epoch_records[:50]:
+            # Executed members include every issuing instruction except
+            # fetch misses (which are only fetched in their epoch).
+            assert len(epoch.members) + epoch.accesses >= epoch.accesses

@@ -1,0 +1,123 @@
+"""Property-based tests for the cycle-accurate simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MachineConfig
+from repro.cyclesim import CycleSimConfig, run_cyclesim
+from repro.trace.annotate import manual_annotation
+from repro.trace.builder import TraceBuilder
+
+
+@st.composite
+def random_annotated_trace(draw):
+    """A random short trace with consistently placed events."""
+    n = draw(st.integers(4, 40))
+    b = TraceBuilder("random")
+    kinds = []
+    pc = 0x1000
+    for i in range(n):
+        kind = draw(
+            st.sampled_from(
+                ["alu", "load", "store", "branch", "prefetch", "membar", "cas"]
+            )
+        )
+        kinds.append(kind)
+        dst = draw(st.integers(1, 10))
+        src = draw(st.integers(0, 10))
+        addr = 64 * draw(st.integers(0, 12))
+        if kind == "alu":
+            b.add_alu(pc, dst=dst, src1=src)
+        elif kind == "load":
+            b.add_load(pc, dst=dst, addr=addr, src1=src)
+        elif kind == "store":
+            b.add_store(pc, addr=addr, data_src=dst, src1=src)
+        elif kind == "branch":
+            b.add_branch(pc, taken=draw(st.booleans()), target=pc + 4, src1=src)
+        elif kind == "prefetch":
+            b.add_prefetch(pc, addr=addr, src1=src)
+        elif kind == "membar":
+            b.add_membar(pc)
+        else:
+            b.add_cas(pc, dst=dst, addr=addr, src1=src, data_src=src)
+        pc += 4
+    dmiss_at = [
+        i
+        for i, k in enumerate(kinds)
+        if k in ("load", "cas") and draw(st.booleans())
+    ]
+    mispred_at = [
+        i for i, k in enumerate(kinds) if k == "branch" and draw(st.booleans())
+    ]
+    imiss_at = [i for i in range(n) if draw(st.integers(0, 9)) == 0]
+    return manual_annotation(
+        b.build(), dmiss_at=dmiss_at, imiss_at=imiss_at, mispred_at=mispred_at
+    )
+
+
+CONFIGS = [
+    CycleSimConfig.from_machine(MachineConfig.named("8A"), miss_penalty=200),
+    CycleSimConfig.from_machine(MachineConfig.named("16C"), miss_penalty=350),
+]
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_annotated_trace())
+def test_everything_commits_and_time_is_sane(ann):
+    for config in CONFIGS:
+        metrics = run_cyclesim(ann, config, start=0)
+        n = len(ann.trace)
+        assert metrics.instructions == n
+        # At least as long as the commit-width bound, at most the fully
+        # serialised worst case (every instruction takes a full miss,
+        # plus pipeline depth).
+        assert metrics.cycles >= n / config.commit_width
+        assert metrics.cycles <= (n + 2) * (config.miss_penalty + 64)
+        # The CPI stack covers every cycle exactly once.
+        assert sum(metrics.stall_cycles.values()) == metrics.cycles
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_annotated_trace())
+def test_event_skip_equivalence_property(ann):
+    """Skipping stalled stretches never changes any observable."""
+    config = CONFIGS[1]
+    skip = run_cyclesim(ann, config, start=0)
+    import dataclasses
+
+    tick = run_cyclesim(
+        ann, dataclasses.replace(config, event_skip=False), start=0
+    )
+    assert skip.cycles == tick.cycles
+    assert skip.offchip_accesses == tick.offchip_accesses
+    assert skip.outstanding_integral == tick.outstanding_integral
+    assert dict(skip.stall_cycles) == dict(tick.stall_cycles)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_annotated_trace())
+def test_mlp_at_least_one_when_misses_exist(ann):
+    metrics = run_cyclesim(ann, CONFIGS[0], start=0)
+    if metrics.offchip_accesses:
+        assert metrics.mlp >= 1.0 - 1e-9
+    else:
+        assert metrics.mlp == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_annotated_trace())
+def test_longer_latency_never_speeds_things_up(ann):
+    short = run_cyclesim(
+        ann,
+        CycleSimConfig.from_machine(MachineConfig.named("16C"),
+                                    miss_penalty=100),
+        start=0,
+    )
+    long_ = run_cyclesim(
+        ann,
+        CycleSimConfig.from_machine(MachineConfig.named("16C"),
+                                    miss_penalty=800),
+        start=0,
+    )
+    assert long_.cycles >= short.cycles

@@ -1,0 +1,21 @@
+"""Run the doctests embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.isa.registers
+import repro.trace.builder
+
+MODULES_WITH_DOCTESTS = [
+    repro.isa.registers,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

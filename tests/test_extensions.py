@@ -1,0 +1,217 @@
+"""Tests for the future-work extensions the paper names in Section 7
+and Section 3.2.4: finite MSHRs, finite store buffers / store MLP, and
+the slow unresolvable-branch predictor."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.mlpsim import MLPSim, simulate
+from repro.core.termination import Inhibitor
+from repro.trace.annotate import manual_annotation
+from repro.trace.builder import TraceBuilder
+
+
+def run(ann, label="64C", record=True, **overrides):
+    return MLPSim(MachineConfig.named(label, **overrides),
+                  record_sets=record).run(ann)
+
+
+def independent_misses(count):
+    b = TraceBuilder("burst")
+    for k in range(count):
+        b.add_load(0x100 + 4 * k, dst=8 + (k % 4), addr=0x8000 + 0x1000 * k,
+                   src1=1)
+    return manual_annotation(b.build(), dmiss_at=list(range(count)))
+
+
+class TestMSHRLimit:
+    def test_cap_bounds_epoch_mlp(self):
+        ann = independent_misses(8)
+        unlimited = run(ann)
+        assert unlimited.mlp == pytest.approx(8.0)
+        capped = run(ann, max_outstanding=2)
+        assert capped.mlp == pytest.approx(2.0)
+        assert capped.accesses == 8  # conservation still holds
+
+    def test_cap_of_one_serialises(self):
+        ann = independent_misses(4)
+        result = run(ann, max_outstanding=1)
+        assert result.epochs == 4
+        assert result.epoch_records[0].inhibitor == Inhibitor.MSHR_LIMIT
+
+    def test_cap_reported_as_maxwin_in_figure5(self):
+        ann = independent_misses(4)
+        result = run(ann, max_outstanding=1)
+        breakdown = result.inhibitor_breakdown()
+        assert breakdown[Inhibitor.MAXWIN] > 0.9
+        assert result.inhibitors.as_dict()[Inhibitor.MSHR_LIMIT] == 3
+
+    def test_imiss_respects_cap(self):
+        b = TraceBuilder("imiss-cap")
+        b.add_load(0x100, dst=2, addr=0x8000, src1=1)
+        b.add_alu(0x104, dst=3, src1=1)  # fetch-misses
+        ann = manual_annotation(b.build(), dmiss_at=[0], imiss_at=[1])
+        capped = run(ann, max_outstanding=1)
+        assert capped.epochs == 2  # the fetch miss waits for an MSHR
+        assert capped.accesses == 2
+
+    def test_runahead_respects_cap(self):
+        ann = independent_misses(8)
+        rae = simulate(
+            ann,
+            MachineConfig.runahead_machine(max_outstanding=2),
+        )
+        assert rae.mlp <= 2.0 + 1e-9
+        assert rae.accesses == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(max_outstanding=0)
+
+    def test_mlp_monotone_in_cap(self, database_annotated):
+        mlps = [
+            simulate(
+                database_annotated,
+                MachineConfig.named("64C", max_outstanding=cap),
+            ).mlp
+            for cap in (1, 2, 4, 8)
+        ]
+        for a, b in zip(mlps, mlps[1:]):
+            assert a <= b + 1e-9
+        assert mlps[0] == pytest.approx(1.0)
+
+
+class TestStoreBuffer:
+    def _store_trace(self, stores):
+        b = TraceBuilder("stores")
+        pc = 0x100
+        smiss = []
+        for k in range(stores):
+            smiss.append(len(b._cols["op"]))
+            b.add_store(pc, addr=0x8000 + 0x1000 * k, data_src=2, src1=1)
+            pc += 4
+        b.add_load(pc, dst=3, addr=0x9000 + 0x8000 * stores, src1=1)
+        return manual_annotation(b.build(), dmiss_at=[stores], smiss_at=smiss)
+
+    def test_store_mlp_measured(self):
+        result = run(self._store_trace(4))
+        assert result.store_accesses == 4
+        assert result.store_epochs >= 1
+        assert result.store_mlp >= 1.0
+
+    def test_infinite_buffer_never_blocks(self):
+        result = run(self._store_trace(6))
+        assert result.store_mlp == pytest.approx(6.0)
+
+    def test_finite_buffer_limits_store_mlp(self):
+        result = run(self._store_trace(6), store_buffer=2)
+        assert result.store_mlp <= 2.0 + 1e-9
+        assert result.store_accesses == 6
+        assert result.inhibitors.as_dict()[Inhibitor.STORE_BUFFER] > 0
+
+    def test_store_misses_do_not_count_toward_mlp(self):
+        result = run(self._store_trace(4))
+        assert result.accesses == 1  # only the load
+
+    def test_full_buffer_blocks_younger_loads_under_policy_a(self):
+        b = TraceBuilder("sb-policy")
+        b.add_store(0x100, addr=0x8000, data_src=2, src1=1)
+        b.add_store(0x104, addr=0x9000, data_src=2, src1=1)
+        b.add_load(0x108, dst=3, addr=0xA000, src1=1)
+        ann = manual_annotation(b.build(), dmiss_at=[2], smiss_at=[0, 1])
+        ordered = run(ann, "64A", store_buffer=1)
+        free = run(ann, "64A")
+        # With one SB entry the second store defers, and policy A then
+        # blocks the missing load behind it for an epoch.
+        assert ordered.epochs >= free.epochs
+
+    def test_workload_store_traffic_reported(self, specjbb_annotated):
+        result = simulate(specjbb_annotated, MachineConfig.named("64C"))
+        assert result.store_accesses > 0
+        assert result.store_mlp >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(store_buffer=-1)
+
+
+class TestSlowBranchPredictor:
+    def _branchy(self):
+        b = TraceBuilder("slowbp")
+        b.add_load(0x100, dst=2, addr=0x8000, src1=1)  # miss
+        b.add_branch(0x104, taken=True, target=0x200, src1=2)  # unresolvable
+        b.add_load(0x200, dst=3, addr=0x9000, src1=1)  # miss
+        return manual_annotation(
+            b.build(), dmiss_at=[0, 2], mispred_at=[1]
+        )
+
+    def test_perfect_slow_predictor_removes_termination(self):
+        base = run(self._branchy())
+        assert base.epochs == 2
+        saved = run(
+            self._branchy(),
+            slow_branch_predictor=True,
+            slow_bp_accuracy=1.0,
+        )
+        assert saved.epochs == 1
+
+    def test_zero_accuracy_is_baseline(self):
+        base = run(self._branchy())
+        useless = run(
+            self._branchy(),
+            slow_branch_predictor=True,
+            slow_bp_accuracy=0.0,
+        )
+        assert useless.epochs == base.epochs
+
+    def test_deterministic(self, database_annotated):
+        machine = MachineConfig.named(
+            "64C", slow_branch_predictor=True, slow_bp_accuracy=0.7
+        )
+        a = simulate(database_annotated, machine)
+        b = simulate(database_annotated, machine)
+        assert a.mlp == b.mlp and a.epochs == b.epochs
+
+    def test_mlp_monotone_in_accuracy(self, database_annotated):
+        mlps = []
+        for accuracy in (0.0, 0.5, 1.0):
+            machine = MachineConfig.named(
+                "64C",
+                slow_branch_predictor=True,
+                slow_bp_accuracy=accuracy,
+            )
+            mlps.append(simulate(database_annotated, machine).mlp)
+        assert mlps[0] <= mlps[1] + 0.02  # hash noise tolerance
+        assert mlps[1] <= mlps[2] + 0.02
+        assert mlps[2] > mlps[0]
+
+    def test_works_with_runahead(self, database_annotated):
+        base = simulate(
+            database_annotated, MachineConfig.runahead_machine()
+        ).mlp
+        saved = simulate(
+            database_annotated,
+            MachineConfig.runahead_machine(
+                slow_branch_predictor=True, slow_bp_accuracy=1.0
+            ),
+        ).mlp
+        perfbp = simulate(
+            database_annotated,
+            MachineConfig.runahead_machine(perfect_branch=True),
+        ).mlp
+        assert base < saved <= perfbp + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(slow_bp_accuracy=1.5)
+
+    def test_label_mentions_extensions(self):
+        m = MachineConfig.named(
+            "64C",
+            max_outstanding=8,
+            store_buffer=16,
+            slow_branch_predictor=True,
+        )
+        assert "mshr8" in m.label and "sb16" in m.label and "slowBP" in m.label

@@ -1,0 +1,68 @@
+"""Golden regression values.
+
+Everything in this library is deterministic in (seed, trace length), so
+the key reproduction numbers are pinned here within a small tolerance.
+These are NOT correctness assertions — they are tripwires: an
+unintentional behaviour change anywhere in the pipeline (generator,
+annotation, engines) will move one of them.
+
+If you change behaviour *intentionally* (generator tuning, a modeling
+fix), re-measure with::
+
+    python -m pytest tests/test_golden.py --tb=short
+
+and update the table below in the same commit, noting why.
+"""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.inorder import simulate_stall_on_miss, simulate_stall_on_use
+from repro.core.mlpsim import simulate
+
+#: (workload, machine factory, expected MLP) at seed 1234, length 120k
+#: (the conftest default).  Tolerance is 1%: tight enough to catch any
+#: semantic change, loose enough for float-ordering noise.
+GOLDEN_MLP = [
+    ("database", lambda: MachineConfig.named("64C"), 1.2810),
+    ("database", lambda: MachineConfig.runahead_machine(), 2.0377),
+    ("specjbb2000", lambda: MachineConfig.named("64C"), 1.1373),
+    ("specjbb2000", lambda: MachineConfig.runahead_machine(), 3.0299),
+    ("specweb99", lambda: MachineConfig.named("64C"), 1.4183),
+    ("specweb99", lambda: MachineConfig.runahead_machine(), 1.9550),
+]
+
+
+@pytest.mark.parametrize("workload,machine,expected", GOLDEN_MLP)
+def test_golden_mlp(workload, machine, expected, all_annotated, trace_len):
+    if trace_len != 120_000:
+        pytest.skip("golden values are pinned at the default trace length")
+    result = simulate(all_annotated[workload], machine())
+    assert result.mlp == pytest.approx(expected, rel=0.01), (
+        f"{workload}/{machine().label}: measured {result.mlp:.4f};"
+        " if this change is intentional, update GOLDEN_MLP"
+    )
+
+
+GOLDEN_INORDER = [
+    ("database", simulate_stall_on_miss, 1.0189),
+    ("database", simulate_stall_on_use, 1.1629),
+    ("specweb99", simulate_stall_on_miss, 1.0743),
+]
+
+
+@pytest.mark.parametrize("workload,simulator,expected", GOLDEN_INORDER)
+def test_golden_inorder(workload, simulator, expected, all_annotated,
+                        trace_len):
+    if trace_len != 120_000:
+        pytest.skip("golden values are pinned at the default trace length")
+    result = simulator(all_annotated[workload])
+    assert result.mlp == pytest.approx(expected, rel=0.01)
+
+
+def test_golden_event_counts(database_annotated, trace_len):
+    """The annotation pipeline's event counts at the default seed."""
+    if trace_len != 120_000:
+        pytest.skip("golden values are pinned at the default trace length")
+    assert database_annotated.num_offchip() == 1133
+    assert int(database_annotated.imiss.sum()) == 577

@@ -1,0 +1,179 @@
+"""Integration tests: the paper's headline shapes on calibrated traces.
+
+These assert the qualitative results of the evaluation section
+(Section 5) on the session-scoped synthetic workloads — the same claims
+EXPERIMENTS.md documents quantitatively.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.inorder import simulate_stall_on_use
+from repro.core.limits import limit_configs
+from repro.core.mlpsim import simulate
+from repro.core.termination import Inhibitor
+
+
+class TestSection53:
+    """Traditional microarchitecture features."""
+
+    def test_ooo_beats_inorder(self, all_annotated):
+        """64C improves MLP over stall-on-use (paper: 12-30%)."""
+        for name, ann in all_annotated.items():
+            ooo = simulate(ann, MachineConfig.named("64C")).mlp
+            sou = simulate_stall_on_use(ann).mlp
+            assert ooo > sou, name
+
+    def test_mlp_grows_with_window(self, database_annotated):
+        mlps = [
+            simulate(database_annotated, MachineConfig.named(f"{s}C")).mlp
+            for s in (16, 64, 256)
+        ]
+        assert mlps[0] < mlps[1] < mlps[2]
+
+    def test_constraint_relaxation_matters_more_at_large_windows(
+        self, specjbb_annotated
+    ):
+        def gain(size):
+            a = simulate(specjbb_annotated, MachineConfig.named(f"{size}A")).mlp
+            e = simulate(specjbb_annotated, MachineConfig.named(f"{size}E")).mlp
+            return e - a
+
+        assert gain(256) > gain(16)
+
+    def test_serialization_dominates_jbb_at_large_windows(
+        self, specjbb_annotated
+    ):
+        """Figure 5: the serializing constraint is SPECjbb2000's largest
+        inhibitor under configs A-D at 64+ entries."""
+        result = simulate(specjbb_annotated, MachineConfig.named("128D"))
+        breakdown = result.inhibitor_breakdown()
+        assert breakdown[Inhibitor.SERIALIZE] == max(breakdown.values())
+
+    def test_imiss_triggers_present_for_db_and_web_only(self, all_annotated):
+        shares = {}
+        for name, ann in all_annotated.items():
+            result = simulate(ann, MachineConfig.named("64C"))
+            shares[name] = result.inhibitor_breakdown()[Inhibitor.IMISS_START]
+        assert shares["database"] > 0.05
+        assert shares["specweb99"] > 0.05
+        assert shares["specjbb2000"] < 0.02
+
+    def test_rob_decoupling_helps(self, all_annotated):
+        """Figure 6: a 4x ROB behind a 64-entry window buys MLP."""
+        for name, ann in all_annotated.items():
+            coupled = simulate(ann, MachineConfig.named("64D")).mlp
+            decoupled = simulate(
+                ann, MachineConfig.named("64D", rob=256)
+            ).mlp
+            assert decoupled >= coupled, name
+        db = all_annotated["database"]
+        gain = (
+            simulate(db, MachineConfig.named("64D", rob=256)).mlp
+            / simulate(db, MachineConfig.named("64D")).mlp
+        )
+        assert gain > 1.05  # paper: +16%
+
+
+class TestSection54:
+    """Runahead execution and value prediction."""
+
+    def test_runahead_beats_conventional_everywhere(self, all_annotated):
+        rae = MachineConfig.runahead_machine()
+        for name, ann in all_annotated.items():
+            conventional = simulate(ann, MachineConfig.named("64D")).mlp
+            runahead = simulate(ann, rae).mlp
+            assert runahead > conventional * 1.2, name
+
+    def test_jbb_gains_most_from_runahead(self, all_annotated):
+        """Figure 8: +102% for SPECjbb2000, the largest of the three."""
+        gains = {}
+        for name, ann in all_annotated.items():
+            base = simulate(ann, MachineConfig.named("64D")).mlp
+            gains[name] = simulate(ann, MachineConfig.runahead_machine()).mlp / base
+        assert gains["specjbb2000"] == max(gains.values())
+
+    def test_runahead_matches_inf_window(self, all_annotated):
+        """Figure 8: RAE ~= the 2048-entry config-E machine."""
+        for name, ann in all_annotated.items():
+            rae = simulate(ann, MachineConfig.runahead_machine()).mlp
+            inf = simulate(ann, MachineConfig.named("2048E")).mlp
+            assert rae == pytest.approx(inf, rel=0.2), name
+
+    def test_value_prediction_pays_most_with_runahead(self, database_annotated):
+        """Figure 9: VP gains are largest on the RAE machine."""
+        def vp_gain(machine):
+            base = simulate(database_annotated, machine).mlp
+            with_vp = simulate(
+                database_annotated,
+                dataclasses.replace(machine, value_prediction=True),
+            ).mlp
+            return with_vp / base
+
+        conventional = vp_gain(MachineConfig.named("64D"))
+        runahead = vp_gain(MachineConfig.runahead_machine())
+        assert runahead >= conventional
+
+
+class TestSection56:
+    """The limit study."""
+
+    def test_perfection_never_hurts(self, database_annotated):
+        grid = limit_configs(runahead=True)
+        base = simulate(database_annotated, grid[0][1]).mlp
+        for label, machine in grid[1:]:
+            assert simulate(database_annotated, machine).mlp >= base - 1e-9
+
+    def test_perfect_ifetch_useless_for_jbb(self, specjbb_annotated):
+        rae = MachineConfig.runahead_machine()
+        base = simulate(specjbb_annotated, rae).mlp
+        perfi = simulate(
+            specjbb_annotated, dataclasses.replace(rae, perfect_ifetch=True)
+        ).mlp
+        assert perfi == pytest.approx(base, rel=0.05)
+
+    def test_perfect_ifetch_helps_db_and_web(self, all_annotated):
+        rae = MachineConfig.runahead_machine()
+        for name in ("database", "specweb99"):
+            ann = all_annotated[name]
+            base = simulate(ann, rae).mlp
+            perfi = simulate(
+                ann, dataclasses.replace(rae, perfect_ifetch=True)
+            ).mlp
+            assert perfi > base * 1.1, name
+
+    def test_vp_and_bp_compose(self, specjbb_annotated):
+        """Figure 10: VP+BP together unlock more than either alone —
+        they remove *different* window terminators (a correctly
+        predicted value is unvalidated and cannot resolve a mispredicted
+        branch)."""
+        rae = MachineConfig.runahead_machine()
+        base = simulate(specjbb_annotated, rae).mlp
+        vp = simulate(
+            specjbb_annotated, dataclasses.replace(rae, perfect_value=True)
+        ).mlp
+        bp = simulate(
+            specjbb_annotated, dataclasses.replace(rae, perfect_branch=True)
+        ).mlp
+        both = simulate(
+            specjbb_annotated,
+            dataclasses.replace(rae, perfect_value=True, perfect_branch=True),
+        ).mlp
+        assert both > max(vp, bp)
+        assert both - base > 0.6 * ((vp - base) + (bp - base))
+
+    def test_headroom_above_runahead_is_large(self, all_annotated):
+        """Paper: +134%/+215%/+57% for RAE.perfVP.perfBP over RAE."""
+        rae = MachineConfig.runahead_machine()
+        limit = dataclasses.replace(
+            rae, perfect_value=True, perfect_branch=True
+        )
+        # The paper's gains: database +134%, SPECjbb2000 +215%,
+        # SPECweb99 +57%; our scaled traces show the same ordering with
+        # a smaller web gain.
+        floors = {"database": 1.4, "specjbb2000": 1.4, "specweb99": 1.15}
+        for name, ann in all_annotated.items():
+            gain = simulate(ann, limit).mlp / simulate(ann, rae).mlp
+            assert gain > floors[name], name

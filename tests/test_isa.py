@@ -1,0 +1,143 @@
+"""Unit tests for the abstract ISA layer."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opclass import (
+    MEMORY_OPS,
+    OpClass,
+    SERIALIZING_OPS,
+    is_branch,
+    is_load_like,
+    is_memory,
+    is_serializing,
+    is_store_like,
+)
+from repro.isa.registers import (
+    NUM_REGS,
+    REG_NONE,
+    REG_ZERO,
+    RegisterNames,
+    register_name,
+)
+
+
+class TestOpClass:
+    def test_values_are_stable(self):
+        # The numeric values are part of the trace format.
+        assert OpClass.ALU == 0
+        assert OpClass.LOAD == 1
+        assert OpClass.STORE == 2
+        assert OpClass.BRANCH == 3
+        assert OpClass.PREFETCH == 4
+        assert OpClass.CAS == 5
+        assert OpClass.LDSTUB == 6
+        assert OpClass.MEMBAR == 7
+        assert OpClass.NOP == 8
+
+    def test_memory_classification(self):
+        assert MEMORY_OPS == {
+            OpClass.LOAD,
+            OpClass.STORE,
+            OpClass.PREFETCH,
+            OpClass.CAS,
+            OpClass.LDSTUB,
+        }
+        for op in OpClass:
+            assert is_memory(op) == (op in MEMORY_OPS)
+
+    def test_serializing_classification(self):
+        assert SERIALIZING_OPS == {OpClass.CAS, OpClass.LDSTUB, OpClass.MEMBAR}
+        assert is_serializing(OpClass.MEMBAR)
+        assert not is_serializing(OpClass.LOAD)
+
+    def test_load_and_store_like(self):
+        assert is_load_like(OpClass.LOAD)
+        assert is_load_like(OpClass.CAS)
+        assert is_load_like(OpClass.LDSTUB)
+        assert not is_load_like(OpClass.STORE)
+        assert is_store_like(OpClass.STORE)
+        assert is_store_like(OpClass.CAS)
+        assert not is_store_like(OpClass.LOAD)
+
+    def test_branch_classification(self):
+        assert is_branch(OpClass.BRANCH)
+        assert not is_branch(OpClass.ALU)
+
+
+class TestRegisters:
+    def test_zero_register_is_register_zero(self):
+        assert REG_ZERO == 0
+        assert REG_NONE == -1
+        assert NUM_REGS == 64
+
+    def test_sparc_style_names(self):
+        assert register_name(0) == "%g0"
+        assert register_name(7) == "%g7"
+        assert register_name(8) == "%o0"
+        assert register_name(16) == "%l0"
+        assert register_name(24) == "%i0"
+        assert register_name(REG_NONE) == "--"
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            register_name(64)
+        with pytest.raises(ValueError):
+            register_name(-2)
+
+    def test_all_names_unique(self):
+        names = RegisterNames.all_names()
+        assert len(names) == NUM_REGS
+        assert len(set(names)) == NUM_REGS
+
+
+class TestInstruction:
+    def test_sources_skip_none_and_zero(self):
+        insn = Instruction(op=OpClass.ALU, pc=0x100, dst=3, src1=0, src2=5)
+        assert insn.sources() == (5,)
+
+    def test_store_data_source_included(self):
+        insn = Instruction(
+            op=OpClass.STORE, pc=0x100, src1=4, src3=7, addr=0x1000
+        )
+        assert insn.sources() == (4, 7)
+        assert insn.address_sources() == (4,)
+
+    def test_address_sources_only_for_memory(self):
+        alu = Instruction(op=OpClass.ALU, pc=0x100, dst=3, src1=4)
+        assert alu.address_sources() == ()
+        load = Instruction(op=OpClass.LOAD, pc=0x100, dst=3, src1=4, addr=8)
+        assert load.address_sources() == (4,)
+
+    def test_prefetch_must_not_write_register(self):
+        with pytest.raises(ValueError):
+            Instruction(op=OpClass.PREFETCH, pc=0x100, dst=5, addr=0x40)
+
+    def test_src3_only_on_store_like(self):
+        with pytest.raises(ValueError):
+            Instruction(op=OpClass.ALU, pc=0x100, dst=1, src3=2)
+        Instruction(op=OpClass.CAS, pc=0x100, dst=1, src1=2, src3=3, addr=8)
+
+    def test_writes_register(self):
+        assert Instruction(op=OpClass.LOAD, pc=0, dst=5, addr=8).writes_register()
+        assert not Instruction(op=OpClass.LOAD, pc=0, dst=0, addr=8).writes_register()
+        assert not Instruction(op=OpClass.STORE, pc=0, src3=1, addr=8).writes_register()
+
+    def test_classification_properties(self):
+        cas = Instruction(op=OpClass.CAS, pc=0, dst=1, addr=8)
+        assert cas.is_memory and cas.is_load_like and cas.is_store_like
+        assert cas.is_serializing and not cas.is_branch
+
+    def test_disassemble_is_stringy(self):
+        samples = [
+            Instruction(op=OpClass.LOAD, pc=0x40, dst=2, src1=1, addr=0x100),
+            Instruction(op=OpClass.STORE, pc=0x44, src1=1, src3=2, addr=0x100),
+            Instruction(op=OpClass.BRANCH, pc=0x48, src1=2, taken=True, target=0x80),
+            Instruction(op=OpClass.PREFETCH, pc=0x4C, addr=0x200),
+            Instruction(op=OpClass.MEMBAR, pc=0x50),
+            Instruction(op=OpClass.ALU, pc=0x54, dst=3, src1=1, src2=2),
+        ]
+        for insn in samples:
+            text = str(insn)
+            assert hex(insn.pc)[2:] in text.lower()
+            assert insn.op.name.lower() in text

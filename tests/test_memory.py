@@ -1,0 +1,232 @@
+"""Unit and property tests for the memory hierarchy substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import AccessLevel, Hierarchy, HierarchyConfig
+from repro.memory.mshr import MSHRFile
+from repro.memory.tlb import TLB
+
+
+def tiny_cache(size=1024, assoc=2, line=64):
+    return Cache(CacheConfig(size_bytes=size, associativity=assoc, line_bytes=line))
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cfg = CacheConfig(size_bytes=32 * 1024, associativity=4)
+        assert cfg.num_sets == 128
+        assert cfg.line_shift == 6
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, associativity=2, line_bytes=48)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3 * 64 * 2, associativity=2, line_bytes=64)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        c = tiny_cache()
+        assert not c.access(0x1000)
+        assert c.access(0x1000)
+        assert c.access(0x1004)  # same line
+        assert c.hits == 2 and c.misses == 1
+
+    def test_lru_eviction(self):
+        # 2-way: fill a set with two lines, touch the first, add a third:
+        # the second (LRU) must be evicted.
+        c = tiny_cache(size=2 * 64 * 8, assoc=2)  # 8 sets
+        stride = 8 * 64  # same-set stride
+        a, b, d = 0, stride, 2 * stride
+        c.access(a)
+        c.access(b)
+        c.access(a)  # a is MRU
+        c.access(d)  # evicts b
+        assert c.probe(a)
+        assert not c.probe(b)
+        assert c.probe(d)
+
+    def test_probe_does_not_mutate(self):
+        c = tiny_cache()
+        c.access(0)
+        hits, misses = c.hits, c.misses
+        assert c.probe(0)
+        assert not c.probe(1 << 20)
+        assert (c.hits, c.misses) == (hits, misses)
+
+    def test_fill_installs_without_counting(self):
+        c = tiny_cache()
+        c.fill(0x2000)
+        assert c.accesses == 0
+        assert c.access(0x2000)
+
+    def test_invalidate(self):
+        c = tiny_cache()
+        c.access(0x40)
+        assert c.invalidate(0x40)
+        assert not c.invalidate(0x40)
+        assert not c.probe(0x40)
+
+    def test_flush_and_occupancy(self):
+        c = tiny_cache()
+        for i in range(5):
+            c.access(i * 64)
+        assert c.occupancy() == 5
+        c.flush()
+        assert c.occupancy() == 0
+
+    def test_miss_ratio(self):
+        c = tiny_cache()
+        c.access(0)
+        c.access(0)
+        assert c.miss_ratio == 0.5
+        c.reset_stats()
+        assert c.miss_ratio == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+def test_cache_occupancy_bounded_property(line_ids):
+    """Occupancy never exceeds capacity; re-access of a resident line hits."""
+    c = tiny_cache(size=4 * 64 * 4, assoc=4)  # 16 lines capacity
+    capacity = 16
+    for line in line_ids:
+        c.access(line * 64)
+        assert c.occupancy() <= capacity
+    # Whatever probe says is consistent with an immediate access.
+    for line in set(line_ids):
+        resident = c.probe(line * 64)
+        assert c.access(line * 64) == resident
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 200), min_size=1, max_size=100))
+def test_fully_associative_set_is_true_lru(addresses):
+    """With one set, the cache keeps exactly the most recent lines."""
+    assoc = 8
+    c = tiny_cache(size=assoc * 64, assoc=assoc)
+    seen = []
+    for a in addresses:
+        line = a * 64
+        c.access(line)
+        if line in seen:
+            seen.remove(line)
+        seen.append(line)
+    expected = seen[-assoc:]
+    for line in expected:
+        assert c.probe(line)
+
+
+class TestTLB:
+    def test_hit_after_miss(self):
+        tlb = TLB(entries=4, page_bytes=8192)
+        assert not tlb.access(0x10000)
+        assert tlb.access(0x10010)  # same page
+        assert tlb.misses == 1 and tlb.hits == 1
+
+    def test_lru_capacity(self):
+        tlb = TLB(entries=2, page_bytes=8192)
+        tlb.access(0 * 8192)
+        tlb.access(1 * 8192)
+        tlb.access(0 * 8192)  # refresh page 0
+        tlb.access(2 * 8192)  # evicts page 1
+        assert tlb.access(0 * 8192)
+        assert not tlb.access(1 * 8192)
+
+    def test_page_size_power_of_two(self):
+        with pytest.raises(ValueError):
+            TLB(page_bytes=5000)
+
+    def test_miss_ratio(self):
+        tlb = TLB()
+        assert tlb.miss_ratio == 0.0
+        tlb.access(0)
+        assert tlb.miss_ratio == 1.0
+
+
+class TestMSHR:
+    def test_allocate_and_merge(self):
+        m = MSHRFile()
+        done = m.allocate(0x1000, 500)
+        assert done == 500
+        # Same line merges onto the existing completion.
+        assert m.allocate(0x1010, 900) == 500
+        assert m.outstanding() == 1
+        assert m.merges == 1
+
+    def test_retire(self):
+        m = MSHRFile()
+        m.allocate(0x1000, 100)
+        m.allocate(0x2000, 200)
+        assert m.retire_complete(150) == [0x1000 >> 6]
+        assert m.outstanding() == 1
+        assert m.next_completion() == 200
+
+    def test_capacity(self):
+        m = MSHRFile(capacity=1)
+        m.allocate(0, 10)
+        assert m.is_full()
+        with pytest.raises(RuntimeError):
+            m.allocate(0x1000, 20)
+
+    def test_lookup(self):
+        m = MSHRFile()
+        assert m.lookup(0x40) is None
+        m.allocate(0x40, 77)
+        assert m.lookup(0x7F) == 77  # same line
+
+
+class TestHierarchy:
+    def test_default_matches_paper(self):
+        h = Hierarchy()
+        assert h.config.l1i.size_bytes == 32 * 1024
+        assert h.config.l1d.size_bytes == 32 * 1024
+        assert h.config.l2.size_bytes == 2 * 1024 * 1024
+        assert h.config.tlb_entries == 2048
+
+    def test_miss_goes_offchip_once(self):
+        h = Hierarchy()
+        assert h.access_data(0x5000_0000) == AccessLevel.OFFCHIP
+        assert h.access_data(0x5000_0000) == AccessLevel.L1
+        assert h.offchip_accesses == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = Hierarchy()
+        target = 0x1000
+        assert h.access_data(target) == AccessLevel.OFFCHIP
+        # Evict from the (32KB, 4-way) L1 by filling its set.
+        l1_sets = h.config.l1d.num_sets
+        for way in range(8):
+            h.access_data(target + (way + 1) * l1_sets * 64)
+        assert h.access_data(target) == AccessLevel.L2
+
+    def test_shared_l2_serves_instructions(self):
+        h = Hierarchy()
+        pc = 0x0040_0000
+        assert h.access_instruction(pc) == AccessLevel.OFFCHIP
+        assert h.access_instruction(pc) == AccessLevel.L1
+
+    def test_fill_data_prevents_miss(self):
+        h = Hierarchy()
+        h.fill_data(0x7000)
+        assert h.access_data(0x7000) == AccessLevel.L1
+        assert h.offchip_accesses == 0
+
+    def test_with_l2_size(self):
+        cfg = HierarchyConfig().with_l2_size(512 * 1024)
+        assert cfg.l2.size_bytes == 512 * 1024
+        assert cfg.l1d.size_bytes == 32 * 1024
+        assert cfg.cache_key() != HierarchyConfig().cache_key()
+
+    def test_reset_stats(self):
+        h = Hierarchy()
+        h.access_data(0)
+        h.access_instruction(0)
+        h.reset_stats()
+        assert h.offchip_accesses == 0
+        assert h.l1d.accesses == 0

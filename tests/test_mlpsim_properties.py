@@ -1,0 +1,217 @@
+"""Property-based tests for MLPsim invariants.
+
+Random small traces (with random miss/mispredict placements) are run
+through the engine under several machine configurations; the invariants
+asserted are consequences of the epoch model itself:
+
+* conservation: every useful off-chip event is counted exactly once;
+* MLP is accesses/epochs and at least 1;
+* epoch sets never overlap and only contain in-range indices;
+* relaxing issue constraints (A -> C -> E) never reduces MLP;
+* growing the ROB (at fixed issue window) never reduces MLP;
+* runahead is at least as good as the same-trace in-order machine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MachineConfig
+from repro.core.inorder import simulate_stall_on_miss, simulate_stall_on_use
+from repro.core.mlpsim import simulate
+from repro.trace.annotate import manual_annotation
+from repro.trace.builder import TraceBuilder
+
+
+@st.composite
+def random_annotated_trace(draw):
+    """A random short trace with consistently placed events."""
+    n = draw(st.integers(5, 60))
+    b = TraceBuilder("random")
+    kinds = []
+    pc = 0x1000
+    for i in range(n):
+        kind = draw(
+            st.sampled_from(
+                ["alu", "load", "store", "branch", "prefetch", "membar", "cas"]
+            )
+        )
+        kinds.append(kind)
+        dst = draw(st.integers(1, 12))
+        src = draw(st.integers(0, 12))
+        addr = 64 * draw(st.integers(0, 15))
+        if kind == "alu":
+            b.add_alu(pc, dst=dst, src1=src, src2=draw(st.integers(0, 12)))
+        elif kind == "load":
+            b.add_load(pc, dst=dst, addr=addr, src1=src)
+        elif kind == "store":
+            b.add_store(pc, addr=addr, data_src=dst, src1=src)
+        elif kind == "branch":
+            b.add_branch(pc, taken=draw(st.booleans()), target=pc + 4, src1=src)
+        elif kind == "prefetch":
+            b.add_prefetch(pc, addr=addr, src1=src)
+        elif kind == "membar":
+            b.add_membar(pc)
+        else:
+            b.add_cas(pc, dst=dst, addr=addr, src1=src, data_src=src)
+        pc += 4
+
+    dmiss_at = [
+        i
+        for i, k in enumerate(kinds)
+        if k in ("load", "cas") and draw(st.booleans())
+    ]
+    mispred_at = [
+        i for i, k in enumerate(kinds) if k == "branch" and draw(st.booleans())
+    ]
+    pmiss_at = [
+        i for i, k in enumerate(kinds) if k == "prefetch" and draw(st.booleans())
+    ]
+    imiss_at = [i for i in range(n) if draw(st.integers(0, 9)) == 0]
+    vp_correct_at = [i for i in dmiss_at if draw(st.booleans())]
+    return manual_annotation(
+        b.build(),
+        dmiss_at=dmiss_at,
+        imiss_at=imiss_at,
+        mispred_at=mispred_at,
+        pmiss_at=pmiss_at,
+        vp_correct_at=vp_correct_at,
+    )
+
+
+def expected_accesses(ann):
+    return (
+        int(np.count_nonzero(ann.dmiss))
+        + int(np.count_nonzero(ann.imiss))
+        + int(np.count_nonzero(ann.pfuseful))
+    )
+
+
+MACHINES = [
+    MachineConfig.named("4A"),
+    MachineConfig.named("8C"),
+    MachineConfig.named("64C"),
+    MachineConfig.named("16D", rob=64),
+    MachineConfig.named("64E"),
+    MachineConfig.runahead_machine(max_runahead=64),
+]
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_annotated_trace())
+def test_event_conservation(ann):
+    """Every useful off-chip event is counted exactly once, under every
+    machine (including runahead)."""
+    expected = expected_accesses(ann)
+    for machine in MACHINES:
+        result = simulate(ann, machine)
+        assert result.accesses == expected
+        assert (
+            result.dmiss_accesses
+            + result.imiss_accesses
+            + result.prefetch_accesses
+            == expected
+        )
+
+
+@settings(max_examples=120, deadline=None)
+@given(random_annotated_trace())
+def test_mlp_definition_and_bounds(ann):
+    for machine in MACHINES:
+        result = simulate(ann, machine)
+        if result.epochs:
+            assert result.mlp == pytest.approx(result.accesses / result.epochs)
+            assert result.mlp >= 1.0
+        else:
+            assert result.accesses == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_annotated_trace())
+def test_epoch_sets_are_disjoint_and_in_range(ann):
+    result = simulate(ann, MachineConfig.named("8C"), record_sets=True)
+    seen = set()
+    for epoch in result.epoch_records:
+        for member in epoch.members:
+            assert 0 <= member < len(ann.trace)
+            assert member not in seen
+            seen.add(member)
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_annotated_trace())
+def test_issue_constraint_relaxation_is_monotone(ann):
+    """Configs impose strictly weaker constraints A -> C -> E."""
+    mlp_a = simulate(ann, MachineConfig.named("32A")).mlp
+    mlp_c = simulate(ann, MachineConfig.named("32C")).mlp
+    mlp_e = simulate(ann, MachineConfig.named("32E")).mlp
+    assert mlp_a <= mlp_c + 1e-9
+    assert mlp_c <= mlp_e + 1e-9
+
+
+def test_fetch_buffer_never_runs_past_a_mispredicted_branch():
+    """Regression for a bug hypothesis found.
+
+    Trace: missing load; CAS; mispredicted branch dependent on the
+    load; then an instruction-fetch miss.  The CAS drain is a
+    dispatch-side stop, so the fetch buffer runs on — but everything
+    past the unexecuted mispredicted branch is the wrong path, so the
+    fetch miss behind it must NOT be absorbed into the epoch (an early
+    engine version did absorb it, which made removing the serializing
+    constraint *lower* MLP — a non-physical inversion).
+    """
+    b = TraceBuilder("serialize-vs-e")
+    b.add_load(0x100, dst=2, addr=0x8000, src1=1)  # Dmiss
+    b.add_cas(0x104, dst=3, addr=0x1000, src1=1, data_src=4)
+    b.add_branch(0x108, taken=True, target=0x200, src1=2)  # unresolvable
+    b.add_alu(0x200, dst=4, src1=1)  # Imiss (correct path)
+    ann = manual_annotation(
+        b.build(), dmiss_at=[0], imiss_at=[3], mispred_at=[2]
+    )
+    serialized = simulate(ann, MachineConfig.named("32C"), record_sets=True)
+    relaxed = simulate(ann, MachineConfig.named("32E"))
+    assert serialized.epochs == 2  # the Imiss is NOT absorbed
+    assert serialized.accesses == 2
+    assert relaxed.epochs == 2
+    assert serialized.mlp <= relaxed.mlp + 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_annotated_trace())
+def test_bigger_rob_is_monotone(ann):
+    small = simulate(ann, MachineConfig.named("8C", rob=8, fetch_buffer=0)).mlp
+    big = simulate(ann, MachineConfig.named("8C", rob=64, fetch_buffer=0)).mlp
+    assert small <= big + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_annotated_trace())
+def test_runahead_not_worse_than_stall_on_miss(ann):
+    rae = simulate(ann, MachineConfig.runahead_machine(max_runahead=128)).mlp
+    som = simulate_stall_on_miss(ann).mlp
+    assert rae >= som - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_annotated_trace())
+def test_stall_on_use_not_worse_than_stall_on_miss(ann):
+    sou = simulate_stall_on_use(ann).mlp
+    som = simulate_stall_on_miss(ann).mlp
+    assert sou >= som - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_annotated_trace())
+def test_perfect_switches_never_reduce_accessible_work(ann):
+    """Perfect BP/VP never reduce MLP; perfect I-fetch removes the
+    I-miss accesses but never increases the number of epochs."""
+    base = simulate(ann, MachineConfig.named("32D"))
+    perf_bp = simulate(
+        ann, MachineConfig.named("32D", perfect_branch=True)
+    )
+    perf_vp = simulate(ann, MachineConfig.named("32D", perfect_value=True))
+    assert perf_bp.mlp >= base.mlp - 1e-9
+    assert perf_vp.mlp >= base.mlp - 1e-9
+    perf_i = simulate(ann, MachineConfig.named("32D", perfect_ifetch=True))
+    assert perf_i.epochs <= base.epochs

@@ -1,0 +1,113 @@
+"""Tests for the CPI model (paper Section 2.2, Equations 1 and 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.cpi_model import (
+    cpi_breakdown,
+    derive_overlap_cm,
+    estimate_cpi,
+    estimate_cycles,
+    speedup,
+)
+
+
+class TestEquations:
+    def test_paper_figure1_example(self):
+        """The worked example under Figure 1: 570 total cycles."""
+        cycles = estimate_cycles(
+            cycles_perf=200,
+            overlap_cm=0.2,
+            num_misses=3,
+            miss_penalty=200,
+            mlp=1.463,
+        )
+        assert cycles == pytest.approx(570, abs=1.0)
+
+    def test_cpi_form(self):
+        cpi = estimate_cpi(
+            cpi_perf=1.47,
+            overlap_cm=0.18,
+            miss_rate=0.0084,
+            miss_penalty=1000,
+            mlp=1.38,
+        )
+        # Paper Table 1: database at 1000 cycles has CPI ~7.28.
+        assert cpi == pytest.approx(7.29, abs=0.15)
+
+    def test_doubling_mlp_halves_offchip_term(self):
+        kwargs = dict(cpi_perf=1.0, overlap_cm=0.0, miss_rate=0.01,
+                      miss_penalty=1000)
+        base = estimate_cpi(mlp=1.0, **kwargs)
+        doubled = estimate_cpi(mlp=2.0, **kwargs)
+        assert (base - 1.0) == pytest.approx(2 * (doubled - 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_cpi(1.0, 0.0, 0.01, 1000, 0.0)
+        with pytest.raises(ValueError):
+            estimate_cpi(1.0, 0.0, 0.01, -5, 1.0)
+        with pytest.raises(ValueError):
+            derive_overlap_cm(2.0, 0.0, 0.01, 1000, 1.0)
+
+
+class TestOverlapDerivation:
+    def test_roundtrip(self):
+        cpi = estimate_cpi(1.5, 0.25, 0.008, 1000, 1.3)
+        overlap = derive_overlap_cm(cpi, 1.5, 0.008, 1000, 1.3)
+        assert overlap == pytest.approx(0.25)
+
+    def test_clamped_to_physical_range(self):
+        # A CPI smaller than the off-chip term alone would imply
+        # overlap > 1; the paper's own Table 1 clamps to [0, 1].
+        assert derive_overlap_cm(1.0, 1.0, 0.01, 1000, 1.0) == 1.0
+        assert derive_overlap_cm(100.0, 1.0, 0.01, 1000, 1.0) == 0.0
+
+
+class TestBreakdown:
+    def test_components_sum(self):
+        b = cpi_breakdown(cpi=7.28, cpi_perf=1.47, miss_rate=0.0084,
+                          miss_penalty=1000, mlp=1.38)
+        assert b.on_chip + b.off_chip == pytest.approx(b.cpi)
+        assert b.off_chip == pytest.approx(0.0084 * 1000 / 1.38)
+        assert "CPI" in b.format_row()
+
+
+class TestSpeedup:
+    def test_definition(self):
+        assert speedup(2.0, 1.0) == pytest.approx(1.0)  # +100%
+        assert speedup(1.0, 1.0) == pytest.approx(0.0)
+        assert speedup(1.0, 2.0) == pytest.approx(-0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cpi_perf=st.floats(0.3, 5),
+    overlap=st.floats(0, 1),
+    miss_rate=st.floats(0.0001, 0.05),
+    penalty=st.integers(100, 2000),
+    mlp=st.floats(1.0, 10.0),
+)
+def test_overlap_roundtrip_property(cpi_perf, overlap, miss_rate, penalty, mlp):
+    cpi = estimate_cpi(cpi_perf, overlap, miss_rate, penalty, mlp)
+    recovered = derive_overlap_cm(cpi, cpi_perf, miss_rate, penalty, mlp)
+    assert recovered == pytest.approx(overlap, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    miss_rate=st.floats(0.001, 0.05),
+    penalty=st.integers(100, 2000),
+    mlp_low=st.floats(1.0, 5.0),
+    gain=st.floats(0.01, 5.0),
+)
+def test_cpi_monotone_in_mlp(miss_rate, penalty, mlp_low, gain):
+    """More MLP never hurts: CPI is strictly decreasing in MLP."""
+    low = estimate_cpi(1.5, 0.1, miss_rate, penalty, mlp_low)
+    high = estimate_cpi(1.5, 0.1, miss_rate, penalty, mlp_low + gain)
+    assert high < low

@@ -1,0 +1,143 @@
+"""Tests for the hardware prefetchers and the premise-check harness."""
+
+import pytest
+
+from repro.memory.prefetcher import (
+    NextLinePrefetcher,
+    StridePrefetcher,
+    run_prefetch_study,
+)
+from repro.trace.builder import TraceBuilder
+
+
+class TestNextLine:
+    def test_prefetches_on_miss_only(self):
+        pf = NextLinePrefetcher(degree=2)
+        assert pf.observe(0x100, 0x8000, was_miss=False) == ()
+        assert pf.observe(0x100, 0x8000, was_miss=True) == (0x8040, 0x8080)
+
+    def test_degree(self):
+        pf = NextLinePrefetcher(degree=4)
+        assert len(pf.observe(0, 0, True)) == 4
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+    def test_line_alignment(self):
+        pf = NextLinePrefetcher(degree=1)
+        assert pf.observe(0, 0x8018, True) == (0x8040,)
+
+
+class TestStride:
+    def test_learns_constant_stride(self):
+        pf = StridePrefetcher(entries=64, degree=2, threshold=2)
+        pc = 0x100
+        out = []
+        for k in range(6):
+            out.append(pf.observe(pc, 0x8000 + 128 * k, False))
+        assert out[0] == () and out[1] == ()  # allocating / training
+        assert out[-1] == (0x8000 + 128 * 6, 0x8000 + 128 * 7)
+
+    def test_stride_change_resets(self):
+        pf = StridePrefetcher(entries=64, threshold=2)
+        pc = 0x100
+        for k in range(5):
+            pf.observe(pc, 0x8000 + 64 * k, False)
+        assert pf.observe(pc, 0x20000, False) == ()  # stride broke
+        assert pf.observe(pc, 0x20040, False) == ()  # retraining
+
+    def test_random_addresses_never_fire(self):
+        import random
+
+        rng = random.Random(3)
+        pf = StridePrefetcher(entries=64)
+        fired = 0
+        for _ in range(200):
+            fired += bool(pf.observe(0x100, rng.randrange(1 << 24) * 8, True))
+        assert fired <= 4  # only accidental stride repeats
+
+    def test_zero_stride_never_fires(self):
+        pf = StridePrefetcher(entries=64)
+        for _ in range(10):
+            out = pf.observe(0x100, 0x8000, False)
+        assert out == ()
+
+    def test_sites_tracked_separately(self):
+        # Adjacent PCs map to different table indices (0x100 and 0x200
+        # would alias in a 64-entry table).
+        pf = StridePrefetcher(entries=64, threshold=1)
+        for k in range(4):
+            pf.observe(0x100, 0x8000 + 64 * k, False)
+            pf.observe(0x104, 0x90000 + 128 * k, False)
+        assert pf.observe(0x100, 0x8000 + 64 * 4, False)[0] == 0x8000 + 64 * 5
+        assert (
+            pf.observe(0x104, 0x90000 + 128 * 4, False)[0]
+            == 0x90000 + 128 * 5
+        )
+
+    def test_aliasing_sites_evict_each_other(self):
+        pf = StridePrefetcher(entries=64, threshold=1)
+        for k in range(4):
+            pf.observe(0x100, 0x8000 + 64 * k, False)
+            pf.observe(0x200, 0x90000 + 128 * k, False)  # same index
+        # Neither site ever accumulates confidence.
+        assert pf.observe(0x100, 0x8000 + 64 * 4, False) == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(entries=100)
+
+
+class TestStudyHarness:
+    def _streaming_trace(self, lines=600):
+        """A perfectly sequential (stream) access pattern."""
+        b = TraceBuilder("stream")
+        for k in range(lines):
+            b.add_load(0x100, dst=2, addr=0x5000_0000 + 64 * k, src1=1)
+        return b.build()
+
+    def _random_trace(self, count=600):
+        import random
+
+        rng = random.Random(5)
+        b = TraceBuilder("randomaccess")
+        for _ in range(count):
+            b.add_load(0x100, dst=2,
+                       addr=0x5000_0000 + 64 * rng.randrange(1 << 20), src1=1)
+        return b.build()
+
+    def test_stream_is_fully_coverable(self):
+        trace = self._streaming_trace()
+        study = run_prefetch_study(trace, StridePrefetcher(degree=4))
+        assert study.coverage > 0.9
+        assert study.accuracy > 0.9
+
+    def test_random_is_not_coverable(self):
+        trace = self._random_trace()
+        study = run_prefetch_study(trace, StridePrefetcher(degree=4))
+        assert study.coverage < 0.05
+
+    def test_reference_run_issues_nothing(self):
+        study = run_prefetch_study(self._streaming_trace(), None)
+        assert study.issued == 0
+        assert study.coverage == 0.0
+        assert study.remaining_misses > 0
+
+    def test_next_line_on_stream(self):
+        study = run_prefetch_study(
+            self._streaming_trace(), NextLinePrefetcher(degree=2)
+        )
+        assert study.coverage > 0.5
+
+    def test_summary_text(self):
+        study = run_prefetch_study(self._streaming_trace(), None)
+        assert "coverage" in study.summary()
+
+    def test_paper_premise_on_workloads(self, trace_len):
+        """Stride prefetching covers little of the database/SPECjbb2000
+        miss streams — the paper's Section 1 premise."""
+        from repro.workloads import generate_trace
+
+        for name in ("database", "specjbb2000"):
+            trace = generate_trace(name, min(trace_len, 60000))
+            study = run_prefetch_study(trace, StridePrefetcher(degree=2))
+            assert study.coverage < 0.25, name

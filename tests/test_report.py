@@ -1,0 +1,73 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.common import Exhibit, clear_caches
+from repro.experiments.report import (
+    _exhibit_markdown,
+    build_report,
+    write_report,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestMarkdownRendering:
+    def test_table_structure(self):
+        exhibit = Exhibit(
+            name="T",
+            title="demo",
+            tables=[("sub", ["a", "b"], [["x", 1.25], [None, 2.0]])],
+            notes=["watch out"],
+        )
+        text = _exhibit_markdown(exhibit)
+        assert "## T: demo" in text
+        assert "**sub**" in text
+        assert "| a | b |" in text
+        assert "| x | 1.250 |" in text
+        assert "|  | 2.000 |" in text  # None renders empty
+        assert "* watch out" in text
+
+    def test_float_format_respected(self):
+        exhibit = Exhibit(
+            name="T", title="t",
+            tables=[(None, ["v"], [[0.125]])],
+            float_format="+.1%",
+        )
+        assert "+12.5%" in _exhibit_markdown(exhibit)
+
+
+class TestBuildReport:
+    def test_selected_exhibits_only(self):
+        seen = []
+        text = build_report(
+            exhibit_names=["table5"], trace_len=15000,
+            progress=seen.append,
+        )
+        assert seen == ["table5"]
+        assert "# Reproduction report" in text
+        assert "In-Order Issue" in text
+        assert "15000 instructions" in text
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "r.md"
+        text = write_report(
+            path, exhibit_names=["table5"], trace_len=15000
+        )
+        assert path.read_text() == text
+
+
+class TestCLIReport:
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(["report", "table5", "-n", "15000", "-o", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "In-Order" in out.read_text()

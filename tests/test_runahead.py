@@ -1,0 +1,216 @@
+"""Semantics tests for the runahead engine (paper Section 3.5)."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.mlpsim import simulate
+from repro.core.termination import Inhibitor
+from repro.trace.annotate import manual_annotation
+from repro.trace.builder import TraceBuilder
+
+
+def rae(max_runahead=2048, **overrides):
+    return MachineConfig.runahead_machine(max_runahead=max_runahead, **overrides)
+
+
+def run(ann, machine=None, record=True):
+    return simulate(ann, machine or rae(), record_sets=record)
+
+
+class TestBasics:
+    def test_independent_misses_overlap_across_huge_distances(self):
+        b = TraceBuilder("wide")
+        pc = 0x100
+        dmiss = []
+        for m in range(4):
+            dmiss.append(len(b._cols["op"]))
+            b.add_load(pc, dst=8, addr=0x8000 + 0x1000 * m, src1=1)
+            pc += 4
+            for _ in range(200):  # far beyond any realistic issue window
+                b.add_alu(pc, dst=20, src1=1)
+                pc += 4
+        ann = manual_annotation(b.build(), dmiss_at=dmiss)
+        result = run(ann)
+        assert result.epochs == 1
+        assert result.mlp == pytest.approx(4.0)
+
+    def test_max_runahead_bounds_the_epoch(self):
+        b = TraceBuilder("limited")
+        b.add_load(0x100, dst=8, addr=0x8000, src1=1)
+        pc = 0x104
+        for _ in range(100):
+            b.add_alu(pc, dst=20, src1=1)
+            pc += 4
+        b.add_load(pc, dst=9, addr=0x9000, src1=1)
+        ann = manual_annotation(b.build(), dmiss_at=[0, 101])
+        near = run(ann, rae(max_runahead=256))
+        assert near.epochs == 1
+        far = run(ann, rae(max_runahead=32))
+        assert far.epochs == 2
+        assert far.epoch_records[0].inhibitor == Inhibitor.RUNAHEAD_LIMIT
+
+    def test_serializing_instructions_are_ignored(self):
+        b = TraceBuilder("rae-cas")
+        b.add_load(0x100, dst=2, addr=0x8000, src1=1)
+        b.add_cas(0x104, dst=3, addr=0x1000, src1=1, data_src=4)
+        b.add_membar(0x108)
+        b.add_load(0x10C, dst=5, addr=0x9000, src1=1)
+        ann = manual_annotation(b.build(), dmiss_at=[0, 3])
+        result = run(ann)
+        assert result.epochs == 1  # the CAS/MEMBAR do not split the epoch
+
+    def test_each_miss_serviced_once(self):
+        # After the flush, re-executed loads hit on runahead prefetches.
+        b = TraceBuilder("once")
+        b.add_load(0x100, dst=2, addr=0x8000, src1=1)
+        b.add_load(0x104, dst=3, addr=0x9000, src1=1)
+        b.add_load(0x108, dst=4, addr=0xA000, src1=1)
+        ann = manual_annotation(b.build(), dmiss_at=[0, 1, 2])
+        result = run(ann)
+        assert result.accesses == 3
+        assert result.epochs == 1
+
+
+class TestPoisoning:
+    def test_dependent_chain_is_not_parallelised(self):
+        b = TraceBuilder("rae-chain")
+        pc = 0x100
+        for level in range(3):
+            b.add_load(pc, dst=2, addr=0x8000 + 0x1000 * level, src1=2)
+            pc += 4
+        ann = manual_annotation(b.build(), dmiss_at=[0, 1, 2])
+        result = run(ann)
+        assert result.epochs == 3  # addresses are poisoned level by level
+        assert result.mlp == pytest.approx(1.0)
+
+    def test_value_prediction_unpoisons_the_chain(self):
+        b = TraceBuilder("rae-vp")
+        pc = 0x100
+        for level in range(3):
+            b.add_load(pc, dst=2, addr=0x8000 + 0x1000 * level, src1=2)
+            pc += 4
+        ann = manual_annotation(
+            b.build(), dmiss_at=[0, 1, 2], vp_correct_at=[0, 1, 2]
+        )
+        result = run(ann, rae(value_prediction=True))
+        assert result.epochs == 1
+        assert result.mlp == pytest.approx(3.0)
+
+    def test_poisoned_store_poisons_forwarded_load(self):
+        b = TraceBuilder("rae-store")
+        b.add_load(0x100, dst=2, addr=0x8000, src1=1)  # trigger (poisoned)
+        b.add_store(0x104, addr=0x9000, data_src=2, src1=1)  # dead store
+        b.add_load(0x108, dst=3, addr=0x9000, src1=1)  # stale forwarded
+        b.add_load(0x10C, dst=4, addr=0xA000, src1=3)  # addr poisoned
+        ann = manual_annotation(b.build(), dmiss_at=[0, 3])
+        result = run(ann)
+        assert result.epochs == 2  # the last miss cannot be prefetched
+
+    def test_poisoned_mispredicted_branch_stops_runahead(self):
+        b = TraceBuilder("rae-branch")
+        b.add_load(0x100, dst=2, addr=0x8000, src1=1)  # trigger
+        b.add_branch(0x104, taken=True, target=0x200, src1=2)  # poisoned
+        b.add_load(0x200, dst=3, addr=0x9000, src1=1)
+        ann = manual_annotation(b.build(), dmiss_at=[0, 2], mispred_at=[1])
+        result = run(ann)
+        assert result.epochs == 2
+        assert result.epoch_records[0].inhibitor == Inhibitor.MISPRED_BR
+
+    def test_clean_mispredicted_branch_does_not_stop(self):
+        b = TraceBuilder("rae-okbranch")
+        b.add_load(0x100, dst=2, addr=0x8000, src1=1)
+        b.add_branch(0x104, taken=True, target=0x200, src1=1)  # clean cond
+        b.add_load(0x200, dst=3, addr=0x9000, src1=1)
+        ann = manual_annotation(b.build(), dmiss_at=[0, 2], mispred_at=[1])
+        result = run(ann)
+        assert result.epochs == 1
+
+    def test_unvalidated_prediction_still_blocks_recovery(self):
+        # Correct VP makes the branch computable but not recoverable.
+        b = TraceBuilder("rae-vp-branch")
+        b.add_load(0x100, dst=2, addr=0x8000, src1=1)
+        b.add_branch(0x104, taken=True, target=0x200, src1=2)
+        b.add_load(0x200, dst=3, addr=0x9000, src1=1)
+        ann = manual_annotation(
+            b.build(), dmiss_at=[0, 2], mispred_at=[1], vp_correct_at=[0]
+        )
+        result = run(ann, rae(value_prediction=True))
+        assert result.epochs == 2
+        # ... but perfect branch prediction on top removes the cut.
+        combined = run(
+            ann, rae(value_prediction=True, perfect_branch=True)
+        )
+        assert combined.epochs == 1
+
+
+class TestFetchSide:
+    def test_imiss_stops_runahead(self):
+        b = TraceBuilder("rae-imiss")
+        b.add_load(0x100, dst=2, addr=0x8000, src1=1)  # trigger
+        b.add_alu(0x104, dst=3, src1=1)  # fetch-misses
+        b.add_load(0x108, dst=4, addr=0x9000, src1=1)
+        ann = manual_annotation(b.build(), dmiss_at=[0, 2], imiss_at=[1])
+        result = run(ann)
+        # Epoch 1 overlaps the trigger with the I-fetch; the last load
+        # needs its own epoch (fetch was blocked).
+        assert [e.accesses for e in result.epoch_records] == [2, 1]
+        assert result.epoch_records[0].inhibitor == Inhibitor.IMISS_END
+
+    def test_imiss_trigger_is_isolated(self):
+        b = TraceBuilder("rae-imiss-start")
+        b.add_alu(0x100, dst=3, src1=1)  # fetch-misses
+        b.add_load(0x104, dst=4, addr=0x9000, src1=1)
+        ann = manual_annotation(b.build(), dmiss_at=[1], imiss_at=[0])
+        result = run(ann)
+        assert result.epochs == 2
+        assert result.epoch_records[0].inhibitor == Inhibitor.IMISS_START
+
+    def test_perfect_ifetch_removes_imiss_epochs(self):
+        b = TraceBuilder("rae-perfi")
+        b.add_alu(0x100, dst=3, src1=1)
+        b.add_load(0x104, dst=4, addr=0x9000, src1=1)
+        ann = manual_annotation(b.build(), dmiss_at=[1], imiss_at=[0])
+        result = run(ann, rae(perfect_ifetch=True))
+        assert result.epochs == 1
+        assert result.imiss_accesses == 0
+
+
+class TestPrefetches:
+    def test_prefetch_joins_the_next_epoch(self):
+        b = TraceBuilder("rae-pf")
+        b.add_prefetch(0x100, addr=0x9000, src1=1)
+        for k in range(8):
+            b.add_alu(0x104 + 4 * k, dst=20, src1=1)
+        b.add_load(0x124, dst=2, addr=0x8000, src1=1)
+        ann = manual_annotation(b.build(), dmiss_at=[9], pmiss_at=[0])
+        result = run(ann)
+        assert result.epochs == 1
+        assert result.epoch_records[0].accesses == 2
+
+    def test_distant_prefetch_forms_its_own_epoch(self):
+        b = TraceBuilder("rae-pf-far")
+        b.add_prefetch(0x100, addr=0x9000, src1=1)
+        pc = 0x104
+        for k in range(80):
+            b.add_alu(pc, dst=20, src1=1)
+            pc += 4
+        b.add_load(pc, dst=2, addr=0x8000, src1=1)
+        ann = manual_annotation(b.build(), dmiss_at=[81], pmiss_at=[0])
+        result = run(ann, rae(max_runahead=32))
+        assert result.epochs == 2
+
+    def test_runahead_reaches_prefetches_ahead(self):
+        b = TraceBuilder("rae-pf-ahead")
+        b.add_load(0x100, dst=2, addr=0x8000, src1=1)  # trigger
+        b.add_prefetch(0x104, addr=0x9000, src1=1)  # clean address
+        ann = manual_annotation(b.build(), dmiss_at=[0], pmiss_at=[1])
+        result = run(ann)
+        assert result.epoch_records[0].accesses == 2
+
+    def test_rae_matches_inf_window_on_workloads(self, specjbb_annotated):
+        """Figure 8's observation: RAE ~= a 2048-entry config-E machine."""
+        rae_result = simulate(specjbb_annotated, rae())
+        inf_result = simulate(
+            specjbb_annotated, MachineConfig.named("2048E")
+        )
+        assert rae_result.mlp == pytest.approx(inf_result.mlp, rel=0.15)

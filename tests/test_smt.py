@@ -1,0 +1,138 @@
+"""Tests for the multithreaded-MLP extension (paper Section 7)."""
+
+import pytest
+
+from repro.core.config import MachineConfig
+from repro.core.mlpsim import MLPSim
+from repro.core.smt import (
+    ThreadProfile,
+    profile_from_result,
+    profile_workload,
+    simulate_smt,
+)
+from repro.trace.annotate import manual_annotation
+from repro.trace.builder import TraceBuilder
+
+
+def make_profile(name, phases, tail=0):
+    return ThreadProfile(name=name, phases=tuple(phases), tail_instructions=tail)
+
+
+class TestThreadProfile:
+    def test_totals(self):
+        p = make_profile("t", [(100, 1), (50, 2)], tail=25)
+        assert p.total_accesses == 3
+        assert p.total_instructions == 175
+
+    def test_profile_from_mlpsim_run(self):
+        b = TraceBuilder("p")
+        b.add_load(0x100, dst=2, addr=0x8000, src1=1)
+        for k in range(10):
+            b.add_alu(0x104 + 4 * k, dst=3, src1=1)
+        b.add_load(0x130, dst=4, addr=0x9000, src1=2)  # dep: second epoch
+        ann = manual_annotation(b.build(), dmiss_at=[0, 11])
+        result = MLPSim(MachineConfig.named("64C"), record_sets=True).run(ann)
+        profile = profile_from_result(result, region_start=0)
+        assert len(profile.phases) == 2
+        assert profile.phases[0] == (0, 1)
+        assert profile.phases[1] == (11, 1)
+
+    def test_requires_epoch_records(self, specjbb_annotated):
+        result = MLPSim(MachineConfig.named("64C")).run(specjbb_annotated)
+        with pytest.raises(ValueError, match="epoch records"):
+            profile_from_result(result)
+
+
+class TestSingleThread:
+    def test_one_thread_mlp_matches_profile(self):
+        # Two epochs of 2 and 4 accesses -> MLP(t) = (2+4)/2 epochs = 3.
+        p = make_profile("t", [(100, 2), (100, 4)])
+        result = simulate_smt([p], ipc=1.0, latency=500)
+        assert result.mlp == pytest.approx(3.0)
+        assert result.accesses == 6
+
+    def test_cycle_accounting(self):
+        p = make_profile("t", [(100, 1)], tail=100)
+        result = simulate_smt([p], ipc=2.0, latency=400)
+        # 50 compute + 400 stall + 50 tail.
+        assert result.cycles == pytest.approx(500.0)
+        assert result.speedup_vs_serial == pytest.approx(0.0)
+
+    def test_compute_only_thread(self):
+        p = make_profile("t", [], tail=300)
+        result = simulate_smt([p], ipc=3.0)
+        assert result.cycles == pytest.approx(100.0)
+        assert result.mlp == 0.0
+
+
+class TestMultiThread:
+    def test_disjoint_stalls_overlap(self):
+        # Two identical memory-bound threads: stalls overlap almost
+        # fully, so two threads take barely longer than one.
+        p = make_profile("t", [(10, 1)] * 5)
+        one = simulate_smt([p], ipc=1.0, latency=1000)
+        two = simulate_smt([p, p], ipc=1.0, latency=1000)
+        assert two.cycles < one.cycles * 1.1
+        assert two.speedup_vs_serial > 0.8
+
+    def test_aggregate_mlp_scales_with_threads(self):
+        p = make_profile("t", [(50, 1)] * 4)
+        mlps = [
+            simulate_smt([p] * n, ipc=2.0, latency=1000).mlp
+            for n in (1, 2, 4)
+        ]
+        assert mlps[0] == pytest.approx(1.0)
+        assert mlps[0] < mlps[1] < mlps[2]
+        assert mlps[2] <= 4.0 + 1e-9
+
+    def test_compute_bound_threads_share_bandwidth(self):
+        # Pure compute threads cannot overlap anything: two of them take
+        # twice as long, no speedup.
+        p = make_profile("t", [], tail=1000)
+        two = simulate_smt([p, p], ipc=1.0)
+        assert two.cycles == pytest.approx(2000.0)
+        assert two.speedup_vs_serial == pytest.approx(0.0)
+
+    def test_heterogeneous_threads_finish_independently(self):
+        short = make_profile("short", [(10, 1)])
+        long_ = make_profile("long", [(10, 1)] * 6)
+        result = simulate_smt([short, long_], ipc=1.0, latency=100)
+        assert result.thread_finish["short"] < result.thread_finish["long"]
+        assert result.cycles == result.thread_finish["long"]
+
+    def test_zero_compute_phases_cascade(self):
+        # Back-to-back epochs (dependent-chain threads) must not hang.
+        p = make_profile("chain", [(0, 1)] * 4)
+        result = simulate_smt([p, p], ipc=1.0, latency=50)
+        assert result.accesses == 8
+        assert result.cycles == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_smt([])
+        with pytest.raises(ValueError):
+            simulate_smt([make_profile("t", [(1, 1)])], ipc=0)
+
+    def test_summary_text(self):
+        p = make_profile("t", [(10, 1)])
+        assert "SMT x1" in simulate_smt([p]).summary()
+
+
+class TestWorkloadComposition:
+    def test_multithreading_lifts_core_mlp(self, specjbb_annotated):
+        profile = profile_workload(specjbb_annotated)
+        one = simulate_smt([profile])
+        four = simulate_smt([profile] * 4)
+        assert four.mlp > one.mlp * 2
+        assert four.speedup_vs_serial > 0.5
+
+    def test_memory_bound_gains_more_than_compute_bound(
+        self, database_annotated, specweb_annotated
+    ):
+        db = profile_workload(database_annotated)
+        web = profile_workload(specweb_annotated)
+        db_gain = simulate_smt([db] * 4).speedup_vs_serial
+        web_gain = simulate_smt([web] * 4).speedup_vs_serial
+        # The database workload spends more time stalled, so SMT hides
+        # more of its time.
+        assert db_gain > web_gain

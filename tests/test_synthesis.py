@@ -1,0 +1,156 @@
+"""Tests for the workload-synthesis building blocks."""
+
+import random
+
+import pytest
+
+from repro.workloads.synthesis import (
+    BranchSites,
+    RecentPool,
+    Region,
+    ValueSites,
+    ZipfRegion,
+    ZipfSampler,
+)
+
+
+class TestRegion:
+    def test_bounds(self):
+        r = Region(0x1000, 4096)
+        assert r.end == 0x2000
+        assert r.num_lines == 64
+        assert r.contains(0x1800)
+        assert not r.contains(0x2000)
+
+    def test_alignment_required(self):
+        with pytest.raises(ValueError):
+            Region(0x1001, 4096)
+
+    def test_random_addr_in_bounds(self):
+        rng = random.Random(1)
+        r = Region(0x1000, 4096)
+        for _ in range(100):
+            a = r.random_addr(rng)
+            assert r.contains(a)
+            assert a % 8 == 0
+
+    def test_next_line_cycles(self):
+        r = Region(0, 3 * 64)
+        lines = [r.next_line() for _ in range(4)]
+        assert lines == [0, 64, 128, 0]
+
+    def test_next_line_with_stride_covers_region(self):
+        r = Region(0, 64 * 64)
+        # A stride coprime with the line count visits every line.
+        seen = {r.next_line(stride_lines=13) for _ in range(64)}
+        assert len(seen) == 64
+
+    def test_line_of(self):
+        r = Region(0, 4096)
+        assert r.line_of(130) == 128
+
+
+class TestZipf:
+    def test_sampler_skews_to_head(self):
+        rng = random.Random(7)
+        sampler = ZipfSampler(1000, exponent=1.0)
+        draws = [sampler.sample(rng) for _ in range(3000)]
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 500)
+        assert head > tail
+
+    def test_sampler_bounds(self):
+        rng = random.Random(3)
+        sampler = ZipfSampler(5, exponent=0.8)
+        assert all(0 <= sampler.sample(rng) < 5 for _ in range(200))
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_zipf_region_lines_valid(self):
+        rng = random.Random(5)
+        zr = ZipfRegion(0x1000_0000, 1024 * 1024)
+        for _ in range(200):
+            line = zr.sample_line(rng)
+            assert zr.region.contains(line)
+            assert line % 64 == 0
+
+    def test_zipf_region_concentrates(self):
+        rng = random.Random(5)
+        zr = ZipfRegion(0, 1024 * 1024, exponent=1.2)
+        draws = [zr.sample_line(rng) for _ in range(2000)]
+        assert len(set(draws)) < 1200  # heavy reuse of the popular head
+
+
+class TestRecentPool:
+    def test_sample_from_inserted(self):
+        rng = random.Random(2)
+        pool = RecentPool(4)
+        assert pool.sample(rng) is None
+        for line in (64, 128, 192):
+            pool.insert(line)
+        assert pool.sample(rng) in {64, 128, 192}
+
+    def test_capacity_wraps(self):
+        pool = RecentPool(2)
+        for line in (1, 2, 3):
+            pool.insert(line)
+        assert len(pool) == 2
+        rng = random.Random(0)
+        seen = {pool.sample(rng) for _ in range(50)}
+        assert 1 not in seen  # the oldest entry was overwritten
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecentPool(0)
+
+
+class TestValueSites:
+    def test_repeat_probability_respected(self):
+        rng = random.Random(11)
+        sites = ValueSites(repeat_prob=0.8)
+        values = [sites.value(rng, 0x100) for _ in range(2000)]
+        repeats = sum(a == b for a, b in zip(values, values[1:]))
+        assert repeats / (len(values) - 1) == pytest.approx(0.8, abs=0.05)
+
+    def test_zero_repeat_always_fresh(self):
+        rng = random.Random(11)
+        sites = ValueSites(repeat_prob=0.0)
+        values = [sites.value(rng, 0x100) for _ in range(50)]
+        assert len(set(values)) == 50
+
+    def test_sites_are_independent(self):
+        rng = random.Random(11)
+        sites = ValueSites(repeat_prob=1.0)
+        a0 = sites.value(rng, 0xA)
+        b0 = sites.value(rng, 0xB)
+        assert a0 != b0
+        assert sites.value(rng, 0xA) == a0
+        assert sites.value(rng, 0xB) == b0
+
+
+class TestBranchSites:
+    def test_forced_bias(self):
+        rng = random.Random(13)
+        sites = BranchSites()
+        sites.force_bias(0x40, 1.0)
+        assert all(sites.outcome(rng, 0x40) for _ in range(50))
+        sites.force_bias(0x44, 0.0)
+        assert not any(sites.outcome(rng, 0x44) for _ in range(50))
+
+    def test_bias_is_sticky_per_site(self):
+        rng = random.Random(13)
+        sites = BranchSites(predictable_fraction=1.0, strong_bias=0.95)
+        outcomes = [sites.outcome(rng, 0x80) for _ in range(400)]
+        rate = sum(outcomes) / len(outcomes)
+        assert rate > 0.85 or rate < 0.15  # strongly biased either way
+
+    def test_mixed_population(self):
+        rng = random.Random(17)
+        sites = BranchSites(predictable_fraction=0.5, weak_bias=0.5)
+        rates = []
+        for site in range(60):
+            outcomes = [sites.outcome(rng, site) for _ in range(100)]
+            rates.append(sum(outcomes) / 100)
+        strong = sum(1 for r in rates if r > 0.85 or r < 0.15)
+        weak = len(rates) - strong
+        assert strong > 10 and weak > 10

@@ -1,0 +1,205 @@
+"""Unit tests for the trace container, builder and I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instruction import Instruction
+from repro.isa.opclass import OpClass
+from repro.trace.builder import TraceBuilder, trace_from_instructions
+from repro.trace.io import FORMAT_VERSION, load_trace, save_trace
+from repro.trace.trace import Trace
+
+
+def small_trace():
+    b = TraceBuilder("unit")
+    b.add_alu(0x100, dst=1, src1=2, src2=3)
+    b.add_load(0x104, dst=4, addr=0x8000, src1=1, value=42)
+    b.add_store(0x108, addr=0x8008, data_src=4, src1=1)
+    b.add_branch(0x10C, taken=True, target=0x200, src1=4)
+    b.add_prefetch(0x200, addr=0x9000, src1=1)
+    b.add_cas(0x204, dst=5, addr=0xA000, src1=1, data_src=4)
+    b.add_ldstub(0x208, dst=6, addr=0xA040, src1=1)
+    b.add_membar(0x20C)
+    b.add_nop(0x210)
+    return b.build()
+
+
+class TestBuilder:
+    def test_length_tracks_appends(self):
+        b = TraceBuilder()
+        assert len(b) == 0
+        b.add_nop(0)
+        b.add_nop(4)
+        assert len(b) == 2
+
+    def test_build_roundtrips_fields(self):
+        t = small_trace()
+        assert len(t) == 9
+        load = t.instruction(1)
+        assert load.op == OpClass.LOAD
+        assert load.dst == 4
+        assert load.addr == 0x8000
+        assert load.value == 42
+        branch = t.instruction(3)
+        assert branch.taken and branch.target == 0x200
+        cas = t.instruction(5)
+        assert cas.op == OpClass.CAS and cas.src3 == 4
+
+    def test_trace_from_instructions(self):
+        insns = [
+            Instruction(op=OpClass.ALU, pc=0, dst=1, src1=2),
+            Instruction(op=OpClass.LOAD, pc=4, dst=2, src1=1, addr=64),
+        ]
+        t = trace_from_instructions(insns, name="x")
+        assert len(t) == 2
+        assert list(t.instructions()) == insns
+
+
+class TestTrace:
+    def test_missing_column_rejected(self):
+        with pytest.raises(ValueError, match="missing columns"):
+            Trace({"op": np.zeros(1, dtype=np.int8)})
+
+    def test_unequal_lengths_rejected(self):
+        t = small_trace()
+        cols = t.columns()
+        cols = {k: np.asarray(v) for k, v in cols.items()}
+        cols["pc"] = cols["pc"][:-1]
+        with pytest.raises(ValueError, match="unequal"):
+            Trace(cols)
+
+    def test_columns_are_read_only(self):
+        t = small_trace()
+        with pytest.raises(ValueError):
+            t.op[0] = 3
+
+    def test_masks(self):
+        t = small_trace()
+        assert list(np.nonzero(t.memory_mask())[0]) == [1, 2, 4, 5, 6]
+        assert list(np.nonzero(t.load_like_mask())[0]) == [1, 5, 6]
+        assert list(np.nonzero(t.branch_mask())[0]) == [3]
+        assert list(np.nonzero(t.serializing_mask())[0]) == [5, 6, 7]
+
+    def test_opclass_counts(self):
+        counts = small_trace().opclass_counts()
+        assert counts[OpClass.LOAD] == 1
+        assert counts[OpClass.MEMBAR] == 1
+        assert sum(counts.values()) == 9
+
+    def test_slice(self):
+        t = small_trace()
+        s = t.slice(1, 4)
+        assert len(s) == 3
+        assert s.instruction(0) == t.instruction(1)
+
+    def test_equality(self):
+        assert small_trace() == small_trace()
+        other = small_trace().slice(0, 5)
+        assert small_trace() != other
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        t = small_trace()
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        loaded = load_trace(path)
+        assert loaded == t
+        assert loaded.name == t.name
+
+    def test_version_check(self, tmp_path):
+        t = small_trace()
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        payload["__version__"] = np.asarray([FORMAT_VERSION + 1])
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_non_trace_archive_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez_compressed(path, junk=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([OpClass.ALU, OpClass.LOAD, OpClass.STORE]),
+            st.integers(0, 63),
+            st.integers(0, 1 << 40),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_builder_roundtrip_property(entries):
+    """Whatever goes into the builder comes back out of the trace."""
+    b = TraceBuilder("prop")
+    for i, (op, reg, addr) in enumerate(entries):
+        if op == OpClass.ALU:
+            b.add_alu(4 * i, dst=reg, src1=reg)
+        elif op == OpClass.LOAD:
+            b.add_load(4 * i, dst=reg, addr=addr, src1=reg)
+        else:
+            b.add_store(4 * i, addr=addr, data_src=reg, src1=reg)
+    t = b.build()
+    assert len(t) == len(entries)
+    for i, (op, reg, addr) in enumerate(entries):
+        insn = t.instruction(i)
+        assert insn.op == op
+        assert insn.pc == 4 * i
+        if op != OpClass.ALU:
+            assert insn.addr == addr
+
+
+class TestAnnotatedIO:
+    def _annotated(self):
+        from repro.trace.annotate import annotate
+
+        return annotate(small_trace())
+
+    def test_roundtrip(self, tmp_path):
+        import numpy as np
+
+        from repro.trace.io import load_annotated, save_annotated
+
+        ann = self._annotated()
+        path = tmp_path / "a.npz"
+        save_annotated(ann, path)
+        loaded = load_annotated(path)
+        assert loaded.trace == ann.trace
+        for field in ("dmiss", "imiss", "mispred", "pmiss", "pfuseful",
+                      "vp_outcome", "smiss"):
+            assert np.array_equal(getattr(loaded, field), getattr(ann, field))
+        assert loaded.measure_start == ann.measure_start
+
+    def test_loaded_annotation_simulates_identically(self, tmp_path):
+        from repro.core.config import MachineConfig
+        from repro.core.mlpsim import simulate
+        from repro.trace.io import load_annotated, save_annotated
+
+        ann = self._annotated()
+        path = tmp_path / "a.npz"
+        save_annotated(ann, path)
+        loaded = load_annotated(path)
+        machine = MachineConfig.named("16C")
+        a = simulate(ann, machine, start=0)
+        b = simulate(loaded, machine, start=0)
+        assert (a.mlp, a.epochs, a.accesses) == (b.mlp, b.epochs, b.accesses)
+
+    def test_plain_trace_archive_rejected(self, tmp_path):
+        import pytest as _pytest
+
+        from repro.trace.io import load_annotated
+
+        path = tmp_path / "t.npz"
+        save_trace(small_trace(), path)
+        with _pytest.raises(ValueError, match="annotated"):
+            load_annotated(path)

@@ -1,0 +1,49 @@
+"""Tests for the seed-robustness analysis."""
+
+import pytest
+
+from repro.analysis.variance import SeedSweep, mlp_seed_sweep, seed_sweep
+from repro.core.config import MachineConfig
+
+
+class TestSeedSweep:
+    def test_statistics(self):
+        sweep = SeedSweep(label="x", seeds=(1, 2, 3), values=(1.0, 2.0, 3.0))
+        assert sweep.mean == pytest.approx(2.0)
+        assert sweep.minimum == 1.0 and sweep.maximum == 3.0
+        assert sweep.stddev == pytest.approx(1.0)
+        assert sweep.relative_spread == pytest.approx(1.0)
+        assert "spread" in sweep.summary()
+
+    def test_single_value(self):
+        sweep = SeedSweep(label="x", seeds=(1,), values=(2.0,))
+        assert sweep.stddev == 0.0
+        assert sweep.relative_spread == 0.0
+
+    def test_seed_sweep_calls_metric_per_seed(self):
+        seen = []
+
+        def metric(seed):
+            seen.append(seed)
+            return float(seed)
+
+        sweep = seed_sweep(metric, (3, 5), label="m")
+        assert seen == [3, 5]
+        assert sweep.values == (3.0, 5.0)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            seed_sweep(lambda s: 0.0, ())
+
+
+class TestMLPSeedSweep:
+    def test_mlp_is_stable_across_seeds(self):
+        sweep = mlp_seed_sweep(
+            "specjbb2000",
+            MachineConfig.named("64C"),
+            seeds=(1234, 7),
+            trace_len=40_000,
+        )
+        assert all(v >= 1.0 for v in sweep.values)
+        assert sweep.relative_spread < 0.35  # short traces, loose band
+        assert "specjbb2000" in sweep.label
