@@ -34,8 +34,10 @@ def run_exhibit_benchmark(benchmark, results_dir):
         exhibit = benchmark.pedantic(
             run_exhibit, args=(name,), kwargs=kwargs, rounds=1, iterations=1
         )
+        from repro.robustness.atomic import atomic_write_text
+
         text = exhibit.format()
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(results_dir / f"{name}.txt", text + "\n")
         print()
         print(text)
         return exhibit

@@ -43,6 +43,13 @@ from repro.perf.cpi_model import (
     estimate_cpi,
     speedup,
 )
+from repro.robustness.errors import (
+    ConfigError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+from repro.robustness.validate import validate_annotated, validate_trace
 from repro.trace.annotate import AnnotationConfig, annotate, manual_annotation
 from repro.trace.builder import TraceBuilder
 from repro.trace.io import load_annotated, load_trace, save_annotated, save_trace
@@ -72,6 +79,12 @@ __all__ = [
     "derive_overlap_cm",
     "estimate_cpi",
     "speedup",
+    "ReproError",
+    "TraceFormatError",
+    "ConfigError",
+    "SimulationError",
+    "validate_trace",
+    "validate_annotated",
     "AnnotationConfig",
     "annotate",
     "manual_annotation",

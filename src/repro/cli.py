@@ -25,6 +25,7 @@ import argparse
 import sys
 
 from repro.core.config import MachineConfig
+from repro.robustness.errors import ConfigError, ReproError
 
 
 def _parse_machine(spec):
@@ -32,14 +33,25 @@ def _parse_machine(spec):
 
     Comma-separated ``key=value`` options follow after a colon, e.g.
     ``64C:store_buffer=8,max_outstanding=16`` or ``RAE:max_runahead=512``.
+
+    Raises
+    ------
+    ConfigError
+        On any malformed spec — unparseable option values, unknown
+        option names, bad ``/rob`` suffixes, unknown machine names.
+        The CLI turns this into a one-line error with exit code 2.
     """
+    original = spec
     options = {}
     if ":" in spec:
         spec, raw = spec.split(":", 1)
         for item in raw.split(","):
             key, _, value = item.partition("=")
-            if not value:
-                raise ValueError(f"malformed machine option {item!r}")
+            if not key or not value:
+                raise ConfigError(
+                    f"bad machine spec {original!r}: malformed option"
+                    f" {item!r} (expected key=value)"
+                )
             if value in ("true", "True"):
                 parsed = True
             elif value in ("false", "False"):
@@ -48,18 +60,30 @@ def _parse_machine(spec):
                 try:
                     parsed = int(value)
                 except ValueError:
-                    parsed = float(value)
+                    try:
+                        parsed = float(value)
+                    except ValueError:
+                        raise ConfigError(
+                            f"bad machine spec {original!r}: option"
+                            f" {key!r} has non-numeric value {value!r}"
+                        ) from None
             options[key] = parsed
     if spec.upper() in ("RAE", "RUNAHEAD"):
         return MachineConfig.runahead_machine(**options)
     if spec.upper() in ("SOM", "STALL-ON-MISS", "SOU", "STALL-ON-USE"):
-        raise ValueError(
+        raise ConfigError(
             "use --machine with an out-of-order spec; in-order machines"
             " are selected with --in-order"
         )
     if "/rob" in spec:
         base, rob = spec.split("/rob", 1)
-        options["rob"] = int(rob)
+        try:
+            options["rob"] = int(rob)
+        except ValueError:
+            raise ConfigError(
+                f"bad machine spec {original!r}: ROB suffix {rob!r} is"
+                " not an integer"
+            ) from None
         return MachineConfig.named(base, **options)
     return MachineConfig.named(spec, **options)
 
@@ -178,18 +202,31 @@ def cmd_cyclesim(args):
 
 
 def cmd_exhibit(args):
-    """``repro exhibit``: regenerate paper tables/figures."""
+    """``repro exhibit``: regenerate paper tables/figures, fail-soft.
+
+    Every requested exhibit runs even if an earlier one fails or times
+    out; a pass/fail summary prints at the end, and the exit code is
+    nonzero iff any exhibit failed.
+    """
     import os
 
-    from repro.experiments import EXHIBITS, run_exhibit
+    from repro.experiments.runner import format_summary, run_exhibits
 
-    if args.length:
+    if args.length is not None:
         os.environ["REPRO_TRACE_LEN"] = str(args.length)
-    names = args.names or list(EXHIBITS)
-    for name in names:
-        print(run_exhibit(name).format())
+
+    def show(outcome):
+        if outcome.ok:
+            print(outcome.exhibit.format())
+        else:
+            print(f"== {outcome.name}: FAILED ({outcome.error}) ==")
         print()
-    return 0
+
+    outcomes = run_exhibits(
+        args.names, timeout=args.timeout, progress=show
+    )
+    print(format_summary(outcomes))
+    return 0 if all(o.ok for o in outcomes) else 1
 
 
 def cmd_ablation(args):
@@ -198,7 +235,7 @@ def cmd_ablation(args):
 
     from repro.experiments.ablations import ABLATIONS, run_ablation
 
-    if args.length:
+    if args.length is not None:
         os.environ["REPRO_TRACE_LEN"] = str(args.length)
     names = args.names or list(ABLATIONS)
     for name in names:
@@ -257,7 +294,7 @@ def cmd_report(args):
 
     from repro.experiments.report import write_report
 
-    if args.length:
+    if args.length is not None:
         os.environ["REPRO_TRACE_LEN"] = str(args.length)
     write_report(
         args.output,
@@ -319,9 +356,14 @@ def build_parser():
     p.set_defaults(func=cmd_cyclesim)
 
     p = sub.add_parser("exhibit", help="regenerate paper tables/figures")
-    p.add_argument("names", nargs="*", help="exhibit names (default: all)")
+    p.add_argument("names", nargs="*",
+                   help="exhibit names ('all' or empty: every exhibit)")
     p.add_argument("-n", "--length", type=int,
                    help="trace length (sets REPRO_TRACE_LEN)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-exhibit wall-clock budget in seconds;"
+                   " an exhibit over budget is recorded as failed and"
+                   " the batch continues")
     p.set_defaults(func=cmd_exhibit)
 
     p = sub.add_parser("inspect", help="print the first epochs of a run")
@@ -367,7 +409,7 @@ def main(argv=None):
         parser.error("provide a workload name or --trace FILE")
     try:
         return args.func(args)
-    except ValueError as error:
+    except (ReproError, ValueError) as error:
         parser.exit(2, f"error: {error}\n")
 
 

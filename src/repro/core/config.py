@@ -23,6 +23,8 @@ limit study.
 import dataclasses
 import enum
 
+from repro.robustness.errors import ConfigError
+
 
 class LoadPolicy(enum.Enum):
     """Load issue policy w.r.t. other loads and stores (Section 3.4.1)."""
@@ -61,8 +63,9 @@ class IssueConfig:
         try:
             return _TABLE2[letter.upper()]
         except KeyError:
-            raise ValueError(
-                f"unknown issue configuration {letter!r}; expected A-E"
+            raise ConfigError(
+                f"unknown issue configuration {letter!r}; expected A-E",
+                field="issue",
             ) from None
 
     @classmethod
@@ -141,20 +144,20 @@ class MachineConfig:
 
     def __post_init__(self):
         if self.issue_window <= 0 or self.rob <= 0 or self.fetch_buffer < 0:
-            raise ValueError("structure sizes must be positive")
+            raise ConfigError("structure sizes must be positive")
         if self.rob < self.issue_window:
-            raise ValueError(
+            raise ConfigError(
                 "the ROB cannot be smaller than the issue window"
                 f" (rob={self.rob}, issue_window={self.issue_window})"
             )
         if self.max_runahead <= 0:
-            raise ValueError("max_runahead must be positive")
+            raise ConfigError("max_runahead must be positive")
         if self.max_outstanding is not None and self.max_outstanding <= 0:
-            raise ValueError("max_outstanding must be positive or None")
+            raise ConfigError("max_outstanding must be positive or None")
         if self.store_buffer is not None and self.store_buffer < 0:
-            raise ValueError("store_buffer must be non-negative or None")
+            raise ConfigError("store_buffer must be non-negative or None")
         if not 0.0 <= self.slow_bp_accuracy <= 1.0:
-            raise ValueError("slow_bp_accuracy must be a probability")
+            raise ConfigError("slow_bp_accuracy must be a probability")
 
     @classmethod
     def named(cls, label, **overrides):
@@ -165,14 +168,25 @@ class MachineConfig:
         other field (e.g. ``rob=256`` for the decoupled configurations of
         Figure 6).
         """
+        if len(label) < 2:
+            raise ConfigError(
+                f"bad machine label {label!r}; expected <size><A-E>,"
+                " e.g. 64C"
+            )
         letter = label[-1]
-        size = int(label[:-1])
+        try:
+            size = int(label[:-1])
+        except ValueError:
+            raise ConfigError(
+                f"bad machine label {label!r}; the size part"
+                f" {label[:-1]!r} is not an integer"
+            ) from None
         fields = {
             "issue": IssueConfig.from_letter(letter),
             "issue_window": size,
             "rob": size,
         }
-        fields.update(overrides)
+        fields.update(_checked_overrides(cls, overrides))
         return cls(**fields)
 
     @classmethod
@@ -189,7 +203,7 @@ class MachineConfig:
             "runahead": True,
             "max_runahead": max_runahead,
         }
-        fields.update(overrides)
+        fields.update(_checked_overrides(cls, overrides))
         return cls(**fields)
 
     @property
@@ -218,3 +232,22 @@ class MachineConfig:
         if extras:
             base += "." + ".".join(extras)
         return base
+
+
+def _checked_overrides(cls, overrides):
+    """Reject override keywords that name no :class:`MachineConfig` field.
+
+    Without this, a typo like ``robb=256`` surfaces as a raw
+    ``TypeError`` from the dataclass constructor; with it, the caller
+    gets a :class:`ConfigError` naming the bad option and the valid
+    ones.
+    """
+    valid = {field.name for field in dataclasses.fields(cls)}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise ConfigError(
+            f"unknown machine option(s) {unknown}; valid options:"
+            f" {sorted(valid - {'issue'})}",
+            field=unknown[0],
+        )
+    return overrides

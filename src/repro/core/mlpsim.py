@@ -92,7 +92,17 @@ class MLPSim:
 
 def simulate(annotated, machine, start=None, stop=None, workload=None,
              record_sets=False):
-    """Functional entry point; see :class:`MLPSim`."""
+    """Functional entry point; see :class:`MLPSim`.
+
+    The annotated input is structurally validated (mask dtypes and
+    lengths, ``vp_outcome`` codes, ``measure_start`` range) before the
+    engine runs; a malformed annotation raises
+    :class:`~repro.robustness.errors.TraceFormatError` instead of
+    silently producing wrong MLP numbers.
+    """
+    from repro.robustness.validate import validate_annotated
+
+    validate_annotated(annotated, check_events=False)
     if machine.runahead:
         from repro.core.runahead import simulate_runahead
 
@@ -108,13 +118,24 @@ def simulate(annotated, machine, start=None, stop=None, workload=None,
 
 
 def resolve_region(annotated, start, stop):
-    """Normalise a (start, stop) request against the measured region."""
+    """Normalise a (start, stop) request against the measured region.
+
+    Raises
+    ------
+    repro.robustness.errors.SimulationError
+        If the requested region falls outside the trace.
+    """
+    from repro.robustness.errors import SimulationError
+
     if start is None:
         start = annotated.measure_start
     if stop is None:
         stop = len(annotated.trace)
     if not 0 <= start <= stop <= len(annotated.trace):
-        raise ValueError(f"invalid trace region [{start}, {stop})")
+        raise SimulationError(
+            f"invalid trace region [{start}, {stop}) for a trace of"
+            f" {len(annotated.trace)} instructions"
+        )
     return start, stop
 
 
@@ -492,6 +513,7 @@ def _simulate_ooo(annotated, machine, start, stop, workload, record_sets):
 
         # ---- phase 1: deferred instructions, in program order --------------
         stop_scan = False
+        fetch_stop = None  # None / "hard" / "soft" ("soft" allows buffering)
         for di in range(len(deferred)):
             i = deferred[di]
             status = execute(i)
@@ -505,10 +527,16 @@ def _simulate_ooo(annotated, machine, start, stop, workload, record_sets):
                 stop_scan = True
             if stop_scan:
                 new_deferred.extend(deferred[di + 1 :])
+                # A dispatch-side stop (serializing drain) lets fetch run
+                # on into the fetch buffer exactly as when the same stop
+                # is reached from the fetch stream in phase 2; only a
+                # mispredicted-branch stop freezes fetch itself.
+                last_event = events[-1] if events else None
+                if status == "stop-done" or last_event is Inhibitor.SERIALIZE:
+                    fetch_stop = "soft"
                 break
 
         # ---- phase 2: fetch --------------------------------------------------
-        fetch_stop = None  # None / "hard" / "soft" ("soft" allows buffering)
         if not stop_scan:
             while fetch_pos < n:
                 # Window constraints bind whenever older work is

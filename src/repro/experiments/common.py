@@ -13,6 +13,7 @@ import os
 
 from repro.analysis.tables import format_table
 from repro.memory.hierarchy import HierarchyConfig
+from repro.robustness.errors import ConfigError
 from repro.trace.annotate import AnnotationConfig, annotate
 from repro.workloads import generate_trace
 
@@ -37,8 +38,23 @@ def default_trace_len():
 
 
 def get_annotated(name, trace_len=None, l2_bytes=None, seed=DEFAULT_SEED):
-    """Return the (memoised) annotated trace for one workload."""
-    trace_len = trace_len or default_trace_len()
+    """Return the (memoised) annotated trace for one workload.
+
+    Raises
+    ------
+    repro.robustness.errors.ConfigError
+        If *trace_len* is given but is not a positive integer.  (A
+        ``trace_len=0`` must be rejected, not silently replaced by the
+        default length.)
+    """
+    if trace_len is None:
+        trace_len = default_trace_len()
+    if not isinstance(trace_len, int) or isinstance(trace_len, bool) \
+            or trace_len < 1:
+        raise ConfigError(
+            f"trace_len must be a positive integer, got {trace_len!r}",
+            field="trace_len",
+        )
     key = (name, trace_len, l2_bytes, seed)
     cached = _annotation_cache.get(key)
     if cached is not None:

@@ -1,0 +1,134 @@
+"""Fail-soft batch execution of the paper's exhibits.
+
+``python -m repro exhibit all`` used to die on the first exhibit that
+raised, losing every later table of a long campaign.  This runner
+executes each exhibit in isolation, catches per-exhibit failures
+(including an optional per-exhibit wall-clock timeout), and reports a
+pass/fail summary at the end — mirroring how large simulation
+campaigns handle partial failure: one bad configuration must not sink
+the batch.
+"""
+
+import contextlib
+import dataclasses
+import signal
+import threading
+import time
+import traceback
+
+from repro.experiments import EXHIBITS, run_exhibit
+from repro.robustness.errors import ExhibitTimeout
+
+
+@dataclasses.dataclass
+class ExhibitOutcome:
+    """Result of one exhibit attempt in a fail-soft batch."""
+
+    name: str
+    ok: bool
+    seconds: float
+    exhibit: object = None
+    error: str = None
+    traceback: str = None
+
+    @property
+    def status(self):
+        """``"ok"`` or ``"FAILED"``, for the summary table."""
+        return "ok" if self.ok else "FAILED"
+
+
+@contextlib.contextmanager
+def _deadline(seconds, name):
+    """Raise :class:`ExhibitTimeout` if the body runs past *seconds*.
+
+    Implemented with ``SIGALRM``, so it only engages on platforms that
+    have it and in the main thread; elsewhere the body runs unbounded
+    (the batch still fail-softs on ordinary exceptions).
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise ExhibitTimeout(
+            f"exhibit exceeded its {seconds:g}s wall-clock budget",
+            field=name,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def run_exhibits(names=None, timeout=None, progress=None, **kwargs):
+    """Run *names* (default: every exhibit) fail-soft.
+
+    Parameters
+    ----------
+    names:
+        Exhibit names; ``None``, an empty list, or the single name
+        ``"all"`` runs the full registry in order.  Unknown names are
+        recorded as failures, not raised — the rest of the batch still
+        runs.
+    timeout:
+        Optional per-exhibit wall-clock budget in seconds.
+    progress:
+        Optional callable invoked with each :class:`ExhibitOutcome` as
+        it completes (the CLI prints the exhibit or the error here).
+    kwargs:
+        Forwarded to each exhibit's ``run`` (e.g. ``trace_len``).
+
+    Returns
+    -------
+    list of ExhibitOutcome
+        One entry per requested exhibit, in request order.
+    """
+    if not names or list(names) == ["all"]:
+        names = list(EXHIBITS)
+    outcomes = []
+    for name in names:
+        started = time.time()
+        try:
+            with _deadline(timeout, name):
+                exhibit = run_exhibit(name, **kwargs)
+            outcome = ExhibitOutcome(
+                name=name, ok=True, seconds=time.time() - started,
+                exhibit=exhibit,
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception as error:
+            outcome = ExhibitOutcome(
+                name=name, ok=False, seconds=time.time() - started,
+                error=f"{type(error).__name__}: {error}",
+                traceback=traceback.format_exc(),
+            )
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return outcomes
+
+
+def format_summary(outcomes):
+    """Render the per-exhibit pass/fail summary table."""
+    passed = sum(1 for o in outcomes if o.ok)
+    lines = [
+        f"== exhibit summary: {passed}/{len(outcomes)} passed ==",
+    ]
+    width = max((len(o.name) for o in outcomes), default=4)
+    for outcome in outcomes:
+        line = f"  {outcome.name:<{width}}  {outcome.status:<6}" \
+               f" {outcome.seconds:7.1f}s"
+        if outcome.error:
+            line += f"  {outcome.error}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Robustness layer: structured errors, input validation, atomic I/O.
+
+Every entry point of the reproduction — trace/annotation archives, the
+machine-spec parser, the simulators and the exhibit harnesses — trusts
+its inputs to be well-formed.  This package makes that trust explicit
+and enforced:
+
+* :mod:`repro.robustness.errors` — the :class:`ReproError` exception
+  hierarchy that all input rejections raise, carrying the offending
+  file and field so failures are diagnosable without a traceback;
+* :mod:`repro.robustness.validate` — validators for raw archives,
+  traces and annotated traces (column presence, dtypes, value ranges,
+  event-mask consistency);
+* :mod:`repro.robustness.atomic` — write-temp-then-rename persistence,
+  so an interrupted save never leaves a corrupt file at the
+  destination path;
+* :mod:`repro.robustness.faults` — a deterministic fault-injection
+  harness that corrupts ``.npz`` archives in controlled ways, used by
+  ``tests/test_fault_injection.py`` to prove every loader rejects bad
+  input loudly instead of crashing or silently mis-simulating.
+
+See ``docs/ROBUSTNESS.md`` for the full contract.
+"""
+
+from repro.robustness.atomic import atomic_savez, atomic_write, atomic_write_text
+from repro.robustness.errors import (
+    ConfigError,
+    ExhibitTimeout,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+from repro.robustness.faults import FAULTS, inject_fault
+from repro.robustness.validate import (
+    validate_annotated,
+    validate_archive_columns,
+    validate_trace,
+)
+
+__all__ = [
+    "ReproError",
+    "TraceFormatError",
+    "ConfigError",
+    "SimulationError",
+    "ExhibitTimeout",
+    "validate_trace",
+    "validate_annotated",
+    "validate_archive_columns",
+    "atomic_write",
+    "atomic_write_text",
+    "atomic_savez",
+    "FAULTS",
+    "inject_fault",
+]

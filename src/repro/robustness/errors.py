@@ -1,0 +1,73 @@
+"""The structured exception hierarchy for input rejection.
+
+All validation failures raise a :class:`ReproError` subclass carrying
+the offending file (``path``) and field (``field``) so that a rejected
+input is diagnosable from the one-line message alone.  The concrete
+classes double-inherit from :class:`ValueError`, the builtin they
+replace, so callers that predate
+the hierarchy — and the published API contract that malformed traces
+raise ``ValueError`` — keep working unchanged.
+
+========================  =====================================
+Class                     Raised for
+========================  =====================================
+:class:`TraceFormatError` malformed trace / annotation archives
+:class:`ConfigError`      invalid machine or experiment configs
+:class:`SimulationError`  invalid simulator invocations
+:class:`ExhibitTimeout`   an exhibit exceeding its time budget
+========================  =====================================
+"""
+
+
+class ReproError(Exception):
+    """Root of the reproduction's input-rejection hierarchy.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the rejection.
+    path:
+        Optional file the bad input came from; rendered as a prefix.
+    field:
+        Optional column / mask / option name at fault; rendered in the
+        message so tests (and humans) can pinpoint the corruption.
+    """
+
+    def __init__(self, message, *, path=None, field=None):
+        self.path = str(path) if path is not None else None
+        self.field = field
+        parts = []
+        if self.path is not None:
+            parts.append(self.path)
+        if field is not None:
+            parts.append(f"field {field!r}")
+        prefix = ": ".join(parts)
+        super().__init__(f"{prefix}: {message}" if prefix else message)
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A trace or annotation archive is structurally invalid.
+
+    Raised for missing/unknown columns, wrong dtypes, unequal column
+    lengths, out-of-range register or opcode values, inconsistent event
+    masks, version skew, and unreadable archives.  Inherits
+    :class:`ValueError` for backward compatibility with the original
+    ad-hoc errors.
+    """
+
+
+class ConfigError(ReproError, ValueError):
+    """A machine spec or experiment configuration is invalid.
+
+    Raised for malformed ``--machine`` specs, unknown configuration
+    fields, and out-of-range experiment parameters (e.g. a
+    non-positive trace length).
+    """
+
+
+class SimulationError(ReproError, ValueError):
+    """A simulator was invoked on an invalid region or input."""
+
+
+class ExhibitTimeout(SimulationError):
+    """An exhibit exceeded its per-exhibit wall-clock budget."""

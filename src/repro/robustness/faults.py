@@ -1,0 +1,141 @@
+"""Deterministic fault injection for trace/annotation archives.
+
+Each fault takes a valid ``.npz`` archive on disk and rewrites it with
+one controlled corruption; the test suite then proves that every
+loader rejects the damaged file with a diagnostic
+:class:`~repro.robustness.errors.ReproError` instead of crashing with
+a raw traceback or — worse — silently loading wrong data and emitting
+wrong MLP numbers.  All faults are pure functions of the input file
+(no randomness), so failures reproduce exactly.
+
+The registry :data:`FAULTS` maps fault names to injector callables;
+:func:`inject_fault` dispatches by name.  Injectors that rewrite the
+archive go through :mod:`repro.robustness.atomic`, so a fault file is
+itself always completely written.
+"""
+
+import numpy as np
+
+from repro.robustness.atomic import atomic_savez, atomic_write
+from repro.robustness.errors import ConfigError
+
+#: Version key used by the trace/annotation archive format.
+_VERSION_KEY = "__version__"
+
+
+def _load_payload(path):
+    """Read every array of an ``.npz`` archive into a plain dict."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def truncate_archive(path, keep_fraction=0.5):
+    """Cut the archive file to its first *keep_fraction* of bytes.
+
+    Models a save interrupted by a crash or a partial copy: the zip
+    central directory is lost, so the file is unreadable as an
+    archive.
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    keep = max(1, int(len(raw) * keep_fraction))
+    with atomic_write(path, "wb") as handle:
+        handle.write(raw[:keep])
+
+
+def drop_column(path, column="addr"):
+    """Remove one column from the archive entirely."""
+    payload = _load_payload(path)
+    payload.pop(column, None)
+    atomic_savez(path, **payload)
+
+
+def add_extra_column(path, column="bogus"):
+    """Add an unknown column the format does not define."""
+    payload = _load_payload(path)
+    length = max((len(v) for v in payload.values() if v.ndim), default=1)
+    payload[column] = np.zeros(length, dtype=np.int64)
+    atomic_savez(path, **payload)
+
+
+def corrupt_dtype(path, column="addr"):
+    """Rewrite one column with a float dtype instead of its integer."""
+    payload = _load_payload(path)
+    payload[column] = np.asarray(payload[column], dtype=np.float64)
+    atomic_savez(path, **payload)
+
+
+def inject_nan(path, column="addr"):
+    """Replace one column's first value with NaN.
+
+    Integer columns cannot hold NaN, so the rewrite necessarily turns
+    the column float — exactly what a buggy pandas/numpy round-trip
+    of the archive would produce.
+    """
+    payload = _load_payload(path)
+    column_values = np.asarray(payload[column], dtype=np.float64)
+    if column_values.size:
+        column_values[0] = np.nan
+    payload[column] = column_values
+    atomic_savez(path, **payload)
+
+
+def out_of_range_register(path, column="src1", value=4096):
+    """Set a register-operand entry far outside the register file."""
+    payload = _load_payload(path)
+    column_values = payload[column].copy()
+    if column_values.size:
+        column_values[0] = value
+    payload[column] = column_values
+    atomic_savez(path, **payload)
+
+
+def skew_version(path, delta=1):
+    """Bump the archive's format version past what the library knows."""
+    payload = _load_payload(path)
+    version = int(payload[_VERSION_KEY][0]) + delta
+    payload[_VERSION_KEY] = np.asarray([version], dtype=np.int64)
+    atomic_savez(path, **payload)
+
+
+def corrupt_mask(path, field="ann_dmiss"):
+    """Set an annotation mask everywhere, breaking event consistency.
+
+    A data-miss mask that marks ALU instructions (which cannot access
+    memory) is the canonical silent-wrong-MLP corruption: the epoch
+    engine would happily count the phantom misses.
+    """
+    payload = _load_payload(path)
+    payload[field] = np.ones_like(payload[field])
+    atomic_savez(path, **payload)
+
+
+#: Registry of fault names to injector callables.
+FAULTS = {
+    "truncate": truncate_archive,
+    "drop_column": drop_column,
+    "extra_column": add_extra_column,
+    "wrong_dtype": corrupt_dtype,
+    "nan": inject_nan,
+    "out_of_range_register": out_of_range_register,
+    "version_skew": skew_version,
+    "corrupt_mask": corrupt_mask,
+}
+
+
+def inject_fault(path, fault, **options):
+    """Apply the named *fault* to the archive at *path*.
+
+    Raises
+    ------
+    ConfigError
+        If *fault* is not a registered fault name.
+    """
+    try:
+        injector = FAULTS[fault]
+    except KeyError:
+        raise ConfigError(
+            f"unknown fault {fault!r}; expected one of {sorted(FAULTS)}",
+            field=fault,
+        ) from None
+    injector(path, **options)

@@ -185,7 +185,16 @@ def annotate(trace, config=None, value_predictor=None, branch_predictor=None):
     Returns
     -------
     AnnotatedTrace
+
+    Raises
+    ------
+    repro.robustness.errors.TraceFormatError
+        If *trace* holds out-of-range opcodes or register operands
+        (e.g. a corrupt archive loaded through an unvalidated path).
     """
+    from repro.robustness.validate import validate_trace
+
+    validate_trace(trace)
     config = config or AnnotationConfig()
     hierarchy = Hierarchy(config.hierarchy)
     branch_pred = branch_predictor or BranchPredictor(

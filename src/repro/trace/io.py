@@ -5,10 +5,30 @@ plus a small metadata record.  Annotated traces (trace + event masks)
 round-trip the same way, so the expensive cache/predictor pass can be
 done once and shared.  Both formats are versioned so stale cached files
 are rejected rather than silently misread.
+
+Robustness contract (see ``docs/ROBUSTNESS.md``):
+
+* all writes are atomic (temp file + rename via
+  :mod:`repro.robustness.atomic`), so an interrupted save never leaves
+  a partial archive at the destination;
+* all loads validate the archive strictly — unreadable files, version
+  skew, missing/unknown columns, wrong dtypes, unequal lengths,
+  out-of-range values and inconsistent event masks all raise
+  :class:`~repro.robustness.errors.TraceFormatError` naming the file
+  and the field at fault.
 """
+
+import zipfile
 
 import numpy as np
 
+from repro.robustness.atomic import atomic_savez
+from repro.robustness.errors import TraceFormatError
+from repro.robustness.validate import (
+    validate_annotated,
+    validate_archive_columns,
+    validate_trace,
+)
 from repro.trace.trace import COLUMNS, Trace
 
 #: Bump when the column schema changes.
@@ -19,13 +39,45 @@ ANNOTATION_FIELDS = (
     "dmiss", "pmiss", "pfuseful", "imiss", "mispred", "vp_outcome", "smiss"
 )
 
+#: Archive keys that carry metadata rather than column data.
+_METADATA_KEYS = ("__version__", "__name__", "ann_measure_start")
+
 
 def save_trace(trace, path):
-    """Write *trace* to *path* as a compressed ``.npz`` archive."""
+    """Atomically write *trace* to *path* as a compressed ``.npz``."""
     payload = {name: getattr(trace, name) for name, _ in COLUMNS}
     payload["__version__"] = np.asarray([FORMAT_VERSION], dtype=np.int64)
     payload["__name__"] = np.asarray([trace.name], dtype=np.str_)
-    np.savez_compressed(path, **payload)
+    atomic_savez(path, **payload)
+
+
+def _read_archive(path, kind):
+    """Read every array of the archive at *path*, or reject it loudly."""
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return {name: archive[name] for name in archive.files}
+    except TraceFormatError:
+        raise
+    except (zipfile.BadZipFile, ValueError, EOFError, KeyError) as error:
+        raise TraceFormatError(
+            f"unreadable {kind} archive ({error})", path=path
+        ) from error
+
+
+def _check_version(payload, path, kind):
+    """Reject non-archives and format-version skew."""
+    if "__version__" not in payload:
+        raise TraceFormatError(
+            f"not a repro {kind} archive (no version record)",
+            path=path, field="__version__",
+        )
+    version = int(payload["__version__"][0])
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{kind} format version mismatch: file has {version},"
+            f" library expects {FORMAT_VERSION}",
+            path=path, field="__version__",
+        )
 
 
 def load_trace(path):
@@ -33,26 +85,29 @@ def load_trace(path):
 
     Raises
     ------
-    ValueError
-        If the archive is missing columns or has a different format
-        version.
+    TraceFormatError
+        If the archive is unreadable, has a different format version,
+        is missing a column, contains an unknown column, or holds
+        out-of-range values.  (A :class:`ValueError` handler keeps
+        working: the error subclasses it.)
     """
-    with np.load(path, allow_pickle=False) as archive:
-        if "__version__" not in archive:
-            raise ValueError(f"{path} is not a repro trace archive")
-        version = int(archive["__version__"][0])
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"trace format version mismatch: file has {version},"
-                f" library expects {FORMAT_VERSION}"
-            )
-        name = str(archive["__name__"][0])
-        columns = {col: archive[col] for col, _ in COLUMNS if col in archive}
-    return Trace(columns, name=name)
+    payload = _read_archive(path, "trace")
+    _check_version(payload, path, "trace")
+    name = str(payload["__name__"][0]) if "__name__" in payload else "trace"
+    columns = {
+        key: value
+        for key, value in payload.items()
+        if key not in _METADATA_KEYS
+    }
+    validate_archive_columns(columns, path=path)
+    trace = Trace(
+        {col: columns[col] for col, _ in COLUMNS}, name=name
+    )
+    return validate_trace(trace, path=path)
 
 
 def save_annotated(annotated, path):
-    """Write an :class:`~repro.trace.annotate.AnnotatedTrace` to *path*.
+    """Atomically write an :class:`AnnotatedTrace` to *path*.
 
     The annotation's hierarchy/predictor configuration is not persisted
     (only its results are); the loader restores a default
@@ -66,31 +121,50 @@ def save_annotated(annotated, path):
     )
     payload["__version__"] = np.asarray([FORMAT_VERSION], dtype=np.int64)
     payload["__name__"] = np.asarray([annotated.trace.name], dtype=np.str_)
-    np.savez_compressed(path, **payload)
+    atomic_savez(path, **payload)
 
 
 def load_annotated(path):
-    """Read an annotated trace written by :func:`save_annotated`."""
+    """Read an annotated trace written by :func:`save_annotated`.
+
+    Raises
+    ------
+    TraceFormatError
+        Under the same strict-validation contract as
+        :func:`load_trace`, plus event-mask consistency: a mask that
+        marks instructions which cannot raise its event (e.g. a data
+        miss on an ALU op) is rejected rather than silently skewing
+        MLP results.
+    """
     from repro.trace.annotate import AnnotatedTrace, AnnotationConfig
 
-    with np.load(path, allow_pickle=False) as archive:
-        if "__version__" not in archive or "ann_measure_start" not in archive:
-            raise ValueError(f"{path} is not a repro annotated-trace archive")
-        version = int(archive["__version__"][0])
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"annotation format version mismatch: file has {version},"
-                f" library expects {FORMAT_VERSION}"
-            )
-        name = str(archive["__name__"][0])
-        columns = {col: archive[col] for col, _ in COLUMNS}
-        fields = {
-            field: archive[f"ann_{field}"] for field in ANNOTATION_FIELDS
-        }
-        measure_start = int(archive["ann_measure_start"][0])
-    return AnnotatedTrace(
-        trace=Trace(columns, name=name),
-        measure_start=measure_start,
+    payload = _read_archive(path, "annotated-trace")
+    _check_version(payload, path, "annotated-trace")
+    if "ann_measure_start" not in payload:
+        raise TraceFormatError(
+            "not a repro annotated-trace archive (no measure-start record)",
+            path=path, field="ann_measure_start",
+        )
+    name = str(payload["__name__"][0]) if "__name__" in payload else "trace"
+    columns = {
+        key: value
+        for key, value in payload.items()
+        if key not in _METADATA_KEYS
+    }
+    validate_archive_columns(
+        columns,
+        path=path,
+        annotation_fields=tuple(f"ann_{f}" for f in ANNOTATION_FIELDS),
+    )
+    trace = Trace({col: columns[col] for col, _ in COLUMNS}, name=name)
+    validate_trace(trace, path=path)
+    fields = {
+        field: columns[f"ann_{field}"] for field in ANNOTATION_FIELDS
+    }
+    annotated = AnnotatedTrace(
+        trace=trace,
+        measure_start=int(payload["ann_measure_start"][0]),
         config=AnnotationConfig(),
         **fields,
     )
+    return validate_annotated(annotated, path=path, check_events=True)

@@ -43,15 +43,29 @@ class Trace:
     """
 
     def __init__(self, columns, name="trace"):
+        from repro.robustness.errors import TraceFormatError
+
         missing = set(_COLUMN_NAMES) - set(columns)
         if missing:
-            raise ValueError(f"trace is missing columns: {sorted(missing)}")
+            raise TraceFormatError(
+                f"trace is missing columns: {sorted(missing)}",
+                field=sorted(missing)[0],
+            )
         lengths = {len(columns[c]) for c in _COLUMN_NAMES}
         if len(lengths) > 1:
-            raise ValueError(f"trace columns have unequal lengths: {lengths}")
+            raise TraceFormatError(
+                f"trace columns have unequal lengths: {lengths}"
+            )
         self.name = name
         for col_name, dtype in COLUMNS:
-            array = np.asarray(columns[col_name], dtype=dtype)
+            try:
+                array = np.asarray(columns[col_name], dtype=dtype)
+            except (ValueError, TypeError) as error:
+                raise TraceFormatError(
+                    f"column cannot be converted to {np.dtype(dtype)}:"
+                    f" {error}",
+                    field=col_name,
+                ) from error
             array.setflags(write=False)
             setattr(self, col_name, array)
 

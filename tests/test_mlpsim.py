@@ -365,3 +365,36 @@ class TestAccounting:
         assert a.mlp == b.mlp
         assert a.epochs == b.epochs
         assert a.inhibitors.as_dict() == b.inhibitors.as_dict()
+
+
+class TestFetchRunOnParity:
+    """A dispatch-side stop must allow fetch-buffer run-on regardless of
+    whether it is reached from the deferred list (phase 1) or from the
+    fetch stream (phase 2).
+
+    Regression test: the phase-1 path used to skip the run-on, so a
+    serializing drain hit while draining deferred instructions could not
+    absorb a following I-fetch miss into the current epoch — perfect
+    branch prediction (which reshuffles where stops are encountered)
+    could then *reduce* MLP, violating the engine's monotonicity
+    invariant.
+    """
+
+    def test_serialize_stop_from_deferred_list_allows_runon(self):
+        b = TraceBuilder("runon-parity")
+        b.add_load(0x100, dst=1, addr=0x10000, src1=2)  # i0: miss
+        b.add_membar(0x104)                             # i1: drains behind i0
+        b.add_load(0x108, dst=3, addr=0x20000, src1=2)  # i2: miss
+        b.add_cas(0x10C, dst=4, addr=0x30000, src1=2, data_src=3)  # i3
+        b.add_alu(0x110, dst=5, src1=4)                 # i4
+        b.add_alu(0x114, dst=6, src1=5)                 # i5: I-fetch miss
+        ann = manual_annotation(b.build(), dmiss_at=[0, 2], imiss_at=[5])
+        # Epoch 1 buffers i2..i4 behind the MEMBAR drain (fetch_buffer=3
+        # fills before reaching i5).  Epoch 2 replays the deferred list,
+        # hits the CAS drain *in the deferred scan*, and the run-on must
+        # still absorb the i5 I-miss into this epoch: 2 epochs total.
+        result = MLPSim(MachineConfig(fetch_buffer=3)).run(ann)
+        assert result.accesses == 3
+        assert result.imiss_accesses == 1
+        assert result.epochs == 2
+        assert result.mlp == pytest.approx(1.5)
