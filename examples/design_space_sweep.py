@@ -8,7 +8,11 @@ improvement (Equation 2) with the cycle simulator anchoring CPI_perf
 and Overlap_CM — ranking the design options by performance per
 "hardware cost" (a toy cost model: CAM entries are 4x FIFO entries).
 
-Run:  python examples/design_space_sweep.py [workload] [trace_length]
+Run:  python examples/design_space_sweep.py [workload] [trace_length] [jobs]
+
+*jobs* (or the ``REPRO_JOBS`` environment variable) runs the
+configuration sweep on a process pool; results are identical to the
+serial run.  See docs/PERFORMANCE.md.
 """
 
 import sys
@@ -31,7 +35,7 @@ OPTIONS = [
 ]
 
 
-def study(workload, length):
+def study(workload, length, jobs=None):
     trace = generate_trace(workload, length)
     annotated = annotate(trace)
 
@@ -44,7 +48,9 @@ def study(workload, length):
         annotated,
         CycleSimConfig.from_machine(base_machine, MISS_PENALTY, perfect_l2=True),
     )
-    grid = sweep(annotated, [(label, m) for label, m, _ in OPTIONS])
+    grid = sweep(
+        annotated, [(label, m) for label, m, _ in OPTIONS], jobs=jobs
+    )
     base = grid.results["baseline 64C"]
     base_rate = base.accesses / base.instructions
     overlap = derive_overlap_cm(
@@ -80,7 +86,8 @@ def study(workload, length):
 def main():
     workload = sys.argv[1] if len(sys.argv) > 1 else "database"
     length = int(sys.argv[2]) if len(sys.argv) > 2 else 120_000
-    study(workload, length)
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else None
+    study(workload, length, jobs=jobs)
 
 
 if __name__ == "__main__":

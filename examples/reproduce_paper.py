@@ -5,10 +5,11 @@ Runs all 13 exhibit harnesses and writes their formatted output to
 stdout (and optionally to a directory).  ``REPRO_TRACE_LEN`` controls
 the trace length (default 120,000 instructions per workload).
 
-Run:  python examples/reproduce_paper.py [--out DIR] [exhibit ...]
+Run:  python examples/reproduce_paper.py [--out DIR] [--jobs N] [exhibit ...]
 """
 
 import argparse
+import os
 import pathlib
 import sys
 import time
@@ -27,7 +28,16 @@ def main(argv=None):
     parser.add_argument(
         "--out", type=pathlib.Path, help="directory to archive outputs in"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the configuration sweeps"
+        " (sets REPRO_JOBS; 0 = one per CPU, default serial)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     unknown = [name for name in args.exhibits if name not in EXHIBITS]
     if unknown:

@@ -1,0 +1,191 @@
+"""Process-parallel execution backend for configuration sweeps.
+
+A sweep runs many independent ``(label, machine)`` simulations over one
+shared annotated trace, which makes it embarrassingly parallel.  This
+module farms those simulations out to a :class:`ProcessPoolExecutor`:
+
+* On platforms with ``fork`` (Linux, macOS with the fork context) the
+  annotated trace is published in a module-level global before the pool
+  starts, so workers inherit it copy-on-write and nothing is pickled
+  per task except the small machine config and result.
+* On platforms without ``fork`` the trace is spilled once to a
+  temporary ``.npz`` archive (via the atomic trace writer) and each
+  worker loads it in its initializer.
+
+Results are collected in submission order, so ``SweepResult`` label
+order and progress-callback order match the serial backend exactly.
+A worker exception is re-raised in the parent as
+:class:`~repro.robustness.errors.SimulationError` naming the failing
+configuration label; remaining queued tasks are cancelled.
+
+The worker count is resolved by :func:`resolve_jobs` from an explicit
+argument or the ``REPRO_JOBS`` environment variable; ``0`` means "one
+worker per CPU".  When a pool cannot be created at all the caller gets
+``None`` back and silently falls back to the serial path, so a
+restricted environment degrades to correct (if slower) behaviour.
+"""
+
+import concurrent.futures
+import multiprocessing
+import os
+import tempfile
+
+from repro.robustness.errors import ConfigError, SimulationError
+
+#: Annotated trace shared with workers.  Under the fork start method the
+#: parent sets it right before creating the pool and clears it after the
+#: sweep; forked children inherit the populated value copy-on-write.
+#: Under spawn it is populated per worker by :func:`_init_from_spill`.
+_WORKER_ANNOTATED = None
+
+
+def resolve_jobs(jobs=None):
+    """Resolve a worker count from *jobs* or the ``REPRO_JOBS`` env var.
+
+    ``None`` falls back to ``REPRO_JOBS`` (absent or empty means serial,
+    i.e. 1).  ``0`` means one worker per available CPU.  Anything that
+    is not a non-negative integer raises
+    :class:`~repro.robustness.errors.ConfigError`.
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env is None or not env.strip():
+            return 1
+        try:
+            jobs = int(env.strip())
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_JOBS must be an integer, got {env!r}",
+                field="REPRO_JOBS",
+            ) from None
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ConfigError(
+            f"jobs must be an integer, got {jobs!r}", field="jobs"
+        )
+    if jobs < 0:
+        raise ConfigError(
+            f"jobs must be non-negative, got {jobs}", field="jobs"
+        )
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _init_from_spill(path):
+    """Worker initializer for spawn-style pools: load the spilled trace."""
+    global _WORKER_ANNOTATED
+    from repro.trace.io import load_annotated
+
+    _WORKER_ANNOTATED = load_annotated(path)
+
+
+def _run_one(label, machine, workload):
+    """Simulate one configuration against the shared annotated trace."""
+    from repro.core.mlpsim import simulate
+
+    if _WORKER_ANNOTATED is None:
+        raise SimulationError(
+            f"sweep worker has no annotated trace for config {label!r}",
+            field=label,
+        )
+    return simulate(_WORKER_ANNOTATED, machine, workload=workload)
+
+
+def _make_pool(annotated, jobs):
+    """Create a process pool primed with *annotated*.
+
+    Returns ``(executor, spill_path)``; *spill_path* is the temporary
+    archive to delete after the sweep (``None`` under fork).  Returns
+    ``(None, None)`` when no pool can be created, signalling the caller
+    to fall back to the serial backend.
+    """
+    global _WORKER_ANNOTATED
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        ctx = None
+    if ctx is not None:
+        try:
+            _WORKER_ANNOTATED = annotated
+            return (
+                concurrent.futures.ProcessPoolExecutor(
+                    max_workers=jobs, mp_context=ctx
+                ),
+                None,
+            )
+        except (OSError, ValueError):
+            _WORKER_ANNOTATED = None
+            return None, None
+    # No fork on this platform: spill the trace once and let each
+    # spawned worker load it in its initializer.
+    spill_path = None
+    try:
+        from repro.trace.io import save_annotated
+
+        fd, spill_path = tempfile.mkstemp(
+            prefix="repro-sweep-", suffix=".npz"
+        )
+        os.close(fd)
+        save_annotated(spill_path, annotated)
+        ctx = multiprocessing.get_context("spawn")
+        return (
+            concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=ctx,
+                initializer=_init_from_spill,
+                initargs=(spill_path,),
+            ),
+            spill_path,
+        )
+    except (OSError, ValueError):
+        if spill_path is not None:
+            try:
+                os.unlink(spill_path)
+            except OSError:
+                pass
+        return None, None
+
+
+def parallel_sweep_results(annotated, pairs, workload, progress, jobs):
+    """Run ``(label, machine)`` *pairs* on a pool of *jobs* workers.
+
+    Returns ``{label: MLPResult}`` in submission order, or ``None`` if
+    a worker pool could not be created (the caller then runs serially).
+    A failing worker raises :class:`SimulationError` naming the label
+    of the configuration that failed.
+    """
+    global _WORKER_ANNOTATED
+    executor, spill_path = _make_pool(annotated, jobs)
+    if executor is None:
+        return None
+    try:
+        with executor:
+            futures = [
+                (label, executor.submit(_run_one, label, machine, workload))
+                for label, machine in pairs
+            ]
+            results = {}
+            for label, future in futures:
+                try:
+                    results[label] = future.result()
+                except concurrent.futures.process.BrokenProcessPool as exc:
+                    raise SimulationError(
+                        f"sweep worker died running config {label!r}: {exc}",
+                        field=label,
+                    ) from exc
+                except Exception as exc:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    raise SimulationError(
+                        f"sweep worker failed for config {label!r}: {exc}",
+                        field=label,
+                    ) from exc
+                if progress is not None:
+                    progress(label)
+            return results
+    finally:
+        _WORKER_ANNOTATED = None
+        if spill_path is not None:
+            try:
+                os.unlink(spill_path)
+            except OSError:
+                pass

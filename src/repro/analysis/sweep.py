@@ -4,11 +4,18 @@ The paper's Figures 4-10 are all sweeps of machine configurations over
 the same annotated traces.  :func:`sweep` runs a labelled grid of
 machines and collects the results in a :class:`SweepResult` that the
 experiment modules index and render.
+
+Sweeps are embarrassingly parallel: every ``(label, machine)`` pair is
+an independent simulation of the same trace.  Passing ``jobs=N`` (or
+setting ``REPRO_JOBS``) runs them on a process pool via
+:mod:`repro.analysis.parallel`; results are identical to the serial
+backend, label for label.  See ``docs/PERFORMANCE.md``.
 """
 
 import dataclasses
 
 from repro.core.mlpsim import simulate
+from repro.robustness.errors import SimulationError
 
 
 @dataclasses.dataclass
@@ -32,26 +39,59 @@ class SweepResult:
         return [(label, self.results[label].mlp) for label in labels]
 
     def relative(self, baseline_label):
-        """MLP of each config relative to *baseline_label* (1.0 = equal)."""
+        """MLP of each config relative to *baseline_label* (1.0 = equal).
+
+        Raises
+        ------
+        repro.robustness.errors.SimulationError
+            If the baseline configuration measured zero MLP — every
+            ratio would be undefined, and mapping them all to ``0.0``
+            would silently hide the degenerate baseline.
+        """
         base = self.mlp(baseline_label)
+        if not base:
+            raise SimulationError(
+                f"baseline config {baseline_label!r} has zero MLP;"
+                " relative comparison is undefined",
+                field=baseline_label,
+            )
         return {
-            label: (result.mlp / base if base else 0.0)
+            label: result.mlp / base
             for label, result in self.results.items()
         }
 
 
-def sweep(annotated, machines, workload=None, progress=None):
+def sweep(annotated, machines, workload=None, progress=None, jobs=None):
     """Run MLPsim for every ``(label, machine)`` pair in *machines*.
 
     *machines* is an iterable of pairs (an ordered mapping also works).
     *progress*, if given, is called with each label as it completes —
     the benchmark harness uses it for liveness output.
+
+    *jobs* selects the number of worker processes: ``None`` defers to
+    the ``REPRO_JOBS`` environment variable (defaulting to serial),
+    ``1`` forces the serial backend, ``0`` means one worker per CPU.
+    Parallel runs produce results identical to serial ones and preserve
+    label order in both the result dict and the progress callbacks; if
+    no worker pool can be created the sweep silently runs serially.
     """
     if hasattr(machines, "items"):
         machines = machines.items()
-    results = {}
+    pairs = list(machines)
     name = workload or annotated.trace.name
-    for label, machine in machines:
+
+    from repro.analysis.parallel import parallel_sweep_results, resolve_jobs
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1 and len(pairs) > 1:
+        results = parallel_sweep_results(
+            annotated, pairs, name, progress, min(n_jobs, len(pairs))
+        )
+        if results is not None:
+            return SweepResult(workload=name, results=results)
+
+    results = {}
+    for label, machine in pairs:
         results[label] = simulate(annotated, machine, workload=name)
         if progress is not None:
             progress(label)

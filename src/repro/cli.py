@@ -223,7 +223,7 @@ def cmd_exhibit(args):
         print()
 
     outcomes = run_exhibits(
-        args.names, timeout=args.timeout, progress=show
+        args.names, timeout=args.timeout, progress=show, jobs=args.jobs
     )
     print(format_summary(outcomes))
     return 0 if all(o.ok for o in outcomes) else 1
@@ -364,6 +364,9 @@ def build_parser():
                    help="per-exhibit wall-clock budget in seconds;"
                    " an exhibit over budget is recorded as failed and"
                    " the batch continues")
+    p.add_argument("-j", "--jobs", type=int, default=None,
+                   help="worker processes for configuration sweeps"
+                   " (sets REPRO_JOBS; 0 = one per CPU, default serial)")
     p.set_defaults(func=cmd_exhibit)
 
     p = sub.add_parser("inspect", help="print the first epochs of a run")

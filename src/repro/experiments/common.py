@@ -2,13 +2,22 @@
 
 Traces and annotations are expensive relative to MLPsim runs, so they
 are memoised per (workload, length, L2 size, seed) and shared between
-exhibits within a process.  The trace length defaults to
-``REPRO_TRACE_LEN`` (environment variable) or 400,000 instructions —
-far below the paper's 150M, which is why EXPERIMENTS.md compares shapes
-rather than absolute values.
+exhibits within a process.  The memo is additionally disk-backed: an
+annotation that was generated once is spilled to
+``benchmarks/results/.cache/`` (override with ``REPRO_CACHE_DIR``;
+set it to an empty string to disable) as a versioned ``.npz`` archive,
+so repeated ``repro exhibit`` invocations and sweep worker pools stop
+regenerating identical traces.  The disk layer is fail-soft in both
+directions — an unreadable or corrupt archive falls back to
+regeneration, an unwritable directory skips the spill.
+
+The trace length defaults to ``REPRO_TRACE_LEN`` (environment
+variable) or 400,000 instructions — far below the paper's 150M, which
+is why EXPERIMENTS.md compares shapes rather than absolute values.
 """
 
 import dataclasses
+import hashlib
 import os
 
 from repro.analysis.tables import format_table
@@ -37,6 +46,70 @@ def default_trace_len():
     return int(os.environ.get("REPRO_TRACE_LEN", "400000"))
 
 
+def cache_dir():
+    """Directory for disk-cached annotations, or ``None`` when disabled.
+
+    ``REPRO_CACHE_DIR`` overrides the default
+    ``benchmarks/results/.cache/`` under the repository root; setting
+    it to an empty string disables the disk layer entirely.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override is not None:
+        return override if override.strip() else None
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)
+        )))
+    )
+    return os.path.join(repo_root, "benchmarks", "results", ".cache")
+
+
+def _cache_path(name, trace_len, l2_bytes, seed):
+    """Disk-cache archive path for one annotation key, or ``None``."""
+    directory = cache_dir()
+    if directory is None:
+        return None
+    from repro.trace.io import FORMAT_VERSION
+
+    digest = hashlib.sha1(
+        f"v{FORMAT_VERSION}:{name}:{trace_len}:{l2_bytes}:{seed}".encode()
+    ).hexdigest()
+    return os.path.join(directory, f"annotated-{digest}.npz")
+
+
+def _load_cached_annotation(path):
+    """Load a disk-cached annotation, or ``None`` on any failure.
+
+    Corrupt, truncated, or version-skewed archives must regenerate,
+    not crash: the cache is an accelerator, never a source of truth.
+    """
+    if path is None or not os.path.exists(path):
+        return None
+    from repro.trace.io import load_annotated
+
+    try:
+        return load_annotated(path)
+    except Exception:
+        try:
+            os.unlink(path)  # evict whatever we could not read
+        except OSError:
+            pass
+        return None
+
+
+def _store_cached_annotation(path, annotated):
+    """Spill an annotation to the disk cache, fail-soft."""
+    if path is None:
+        return
+    from repro.trace.io import save_annotated
+
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        save_annotated(annotated, path)
+    except Exception:
+        pass  # unwritable cache dir: keep going without the disk layer
+
+
 def get_annotated(name, trace_len=None, l2_bytes=None, seed=DEFAULT_SEED):
     """Return the (memoised) annotated trace for one workload.
 
@@ -59,11 +132,15 @@ def get_annotated(name, trace_len=None, l2_bytes=None, seed=DEFAULT_SEED):
     cached = _annotation_cache.get(key)
     if cached is not None:
         return cached
-    trace = _get_trace(name, trace_len, seed)
-    hierarchy = HierarchyConfig()
-    if l2_bytes is not None:
-        hierarchy = hierarchy.with_l2_size(l2_bytes)
-    annotated = annotate(trace, AnnotationConfig(hierarchy=hierarchy))
+    disk_path = _cache_path(name, trace_len, l2_bytes, seed)
+    annotated = _load_cached_annotation(disk_path)
+    if annotated is None:
+        trace = _get_trace(name, trace_len, seed)
+        hierarchy = HierarchyConfig()
+        if l2_bytes is not None:
+            hierarchy = hierarchy.with_l2_size(l2_bytes)
+        annotated = annotate(trace, AnnotationConfig(hierarchy=hierarchy))
+        _store_cached_annotation(disk_path, annotated)
     _annotation_cache[key] = annotated
     return annotated
 
@@ -80,10 +157,23 @@ def _get_trace(name, trace_len, seed):
     return cached
 
 
-def clear_caches():
-    """Drop all memoised traces/annotations (tests use this)."""
+def clear_caches(disk=False):
+    """Drop all memoised traces/annotations (tests use this).
+
+    With ``disk=True`` the on-disk annotation archives are deleted as
+    well; by default only the in-process memo is cleared.
+    """
     _annotation_cache.clear()
     _trace_cache.clear()
+    if disk:
+        directory = cache_dir()
+        if directory and os.path.isdir(directory):
+            for entry in os.listdir(directory):
+                if entry.startswith("annotated-") and entry.endswith(".npz"):
+                    try:
+                        os.unlink(os.path.join(directory, entry))
+                    except OSError:
+                        pass
 
 
 @dataclasses.dataclass

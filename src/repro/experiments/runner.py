@@ -11,6 +11,7 @@ the batch.
 
 import contextlib
 import dataclasses
+import os
 import signal
 import threading
 import time
@@ -69,7 +70,8 @@ def _deadline(seconds, name):
         signal.signal(signal.SIGALRM, previous)
 
 
-def run_exhibits(names=None, timeout=None, progress=None, **kwargs):
+def run_exhibits(names=None, timeout=None, progress=None, jobs=None,
+                 **kwargs):
     """Run *names* (default: every exhibit) fail-soft.
 
     Parameters
@@ -84,6 +86,12 @@ def run_exhibits(names=None, timeout=None, progress=None, **kwargs):
     progress:
         Optional callable invoked with each :class:`ExhibitOutcome` as
         it completes (the CLI prints the exhibit or the error here).
+    jobs:
+        Optional worker-process count for the configuration sweeps
+        inside each exhibit (``0`` = one per CPU).  Exported as
+        ``REPRO_JOBS`` for the duration of the batch so every nested
+        :func:`repro.analysis.sweep.sweep` call picks it up; the
+        previous value is restored afterwards.
     kwargs:
         Forwarded to each exhibit's ``run`` (e.g. ``trace_len``).
 
@@ -94,27 +102,37 @@ def run_exhibits(names=None, timeout=None, progress=None, **kwargs):
     """
     if not names or list(names) == ["all"]:
         names = list(EXHIBITS)
+    saved_jobs = os.environ.get("REPRO_JOBS")
+    if jobs is not None:
+        os.environ["REPRO_JOBS"] = str(jobs)
     outcomes = []
-    for name in names:
-        started = time.time()
-        try:
-            with _deadline(timeout, name):
-                exhibit = run_exhibit(name, **kwargs)
-            outcome = ExhibitOutcome(
-                name=name, ok=True, seconds=time.time() - started,
-                exhibit=exhibit,
-            )
-        except KeyboardInterrupt:
-            raise
-        except Exception as error:
-            outcome = ExhibitOutcome(
-                name=name, ok=False, seconds=time.time() - started,
-                error=f"{type(error).__name__}: {error}",
-                traceback=traceback.format_exc(),
-            )
-        outcomes.append(outcome)
-        if progress is not None:
-            progress(outcome)
+    try:
+        for name in names:
+            started = time.time()
+            try:
+                with _deadline(timeout, name):
+                    exhibit = run_exhibit(name, **kwargs)
+                outcome = ExhibitOutcome(
+                    name=name, ok=True, seconds=time.time() - started,
+                    exhibit=exhibit,
+                )
+            except KeyboardInterrupt:
+                raise
+            except Exception as error:
+                outcome = ExhibitOutcome(
+                    name=name, ok=False, seconds=time.time() - started,
+                    error=f"{type(error).__name__}: {error}",
+                    traceback=traceback.format_exc(),
+                )
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    finally:
+        if jobs is not None:
+            if saved_jobs is None:
+                os.environ.pop("REPRO_JOBS", None)
+            else:
+                os.environ["REPRO_JOBS"] = saved_jobs
     return outcomes
 
 
