@@ -95,7 +95,7 @@ def main():
     rae = MLPSim(MachineConfig.runahead_machine(max_runahead=512)).run(annotated)
     base = MLPSim(MachineConfig.named("64C")).run(annotated)
     print(
-        f"\nrunahead (512-instruction distance):"
+        "\nrunahead (512-instruction distance):"
         f" MLP={rae.mlp:.3f} ({rae.mlp / base.mlp - 1:+.0%})"
     )
     print(

@@ -44,7 +44,7 @@ def main():
     print(f"  {runahead.summary()}")
 
     print(
-        f"\nrunahead improves MLP over the conventional machine by"
+        "\nrunahead improves MLP over the conventional machine by"
         f" {runahead.mlp / default.mlp - 1:+.0%}"
         f" (and over in-order by {runahead.mlp / in_order.mlp - 1:+.0%})."
     )

@@ -12,6 +12,8 @@ Two renderers:
 * :func:`bar_chart` — grouped horizontal bars (Figures 8, 10, 11).
 """
 
+from repro.robustness.errors import ConfigError
+
 _SERIES_MARKS = "o+x*#@%&"
 
 
@@ -40,7 +42,7 @@ def line_chart(x_labels, series, height=12, width=64, title=None,
         v for ys in series.values() for v in ys if v is not None
     ]
     if not values:
-        raise ValueError("line_chart needs at least one value")
+        raise ConfigError("line_chart needs at least one value")
     low, high = min(values), max(values)
     if high == low:
         high = low + 1.0
@@ -107,7 +109,7 @@ def bar_chart(groups, width=48, title=None, value_format="{:.2f}"):
     """
     all_values = [v for _, bars in groups for _, v in bars]
     if not all_values:
-        raise ValueError("bar_chart needs at least one value")
+        raise ConfigError("bar_chart needs at least one value")
     peak = max(all_values)
     if peak <= 0:
         peak = 1.0

@@ -13,6 +13,7 @@ import math
 from repro.core.mlpsim import simulate
 from repro.trace.annotate import annotate
 from repro.workloads import generate_trace
+from repro.robustness.errors import ConfigError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,7 +66,7 @@ def seed_sweep(metric, seeds, label="metric"):
     """Evaluate ``metric(seed)`` for every seed; return a :class:`SeedSweep`."""
     seeds = tuple(seeds)
     if not seeds:
-        raise ValueError("seed_sweep needs at least one seed")
+        raise ConfigError("seed_sweep needs at least one seed")
     values = tuple(metric(seed) for seed in seeds)
     return SeedSweep(label=label, seeds=seeds, values=values)
 

@@ -5,16 +5,18 @@ target.  A taken branch whose target is absent or stale is a
 misprediction even if its direction was predicted correctly.
 """
 
+from repro.robustness.errors import ConfigError
+
 
 class BranchTargetBuffer:
     """4-way set-associative BTB with LRU replacement."""
 
     def __init__(self, entries=16 * 1024, associativity=4):
         if entries % associativity:
-            raise ValueError("BTB entries must divide evenly into ways")
+            raise ConfigError("BTB entries must divide evenly into ways")
         num_sets = entries // associativity
         if num_sets & (num_sets - 1):
-            raise ValueError("BTB set count must be a power of two")
+            raise ConfigError("BTB set count must be a power of two")
         self.entries = entries
         self._assoc = associativity
         self._set_mask = num_sets - 1

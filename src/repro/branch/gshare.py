@@ -5,6 +5,8 @@ global branch-history register.  The paper's machine uses 64K entries,
 i.e. a 16-bit index and 16 bits of global history.
 """
 
+from repro.robustness.errors import ConfigError
+
 
 class GshareGPredictor:
     """2-bit-counter gshare with configurable table size.
@@ -15,7 +17,7 @@ class GshareGPredictor:
 
     def __init__(self, entries=64 * 1024):
         if entries & (entries - 1):
-            raise ValueError("gshare table size must be a power of two")
+            raise ConfigError("gshare table size must be a power of two")
         self.entries = entries
         self._mask = entries - 1
         self._history_bits = entries.bit_length() - 1

@@ -6,13 +6,15 @@ silently overwritten) and underflow predicts nothing, both standard
 hardware behaviours.
 """
 
+from repro.robustness.errors import ConfigError
+
 
 class ReturnAddressStack:
     """Fixed-depth circular return address stack."""
 
     def __init__(self, depth=16):
         if depth <= 0:
-            raise ValueError("RAS depth must be positive")
+            raise ConfigError("RAS depth must be positive")
         self.depth = depth
         self._stack = [None] * depth
         self._top = 0  # index of next free slot

@@ -10,7 +10,9 @@ Subcommands:
   saved trace and print MLP, inhibitors and store MLP;
 * ``cyclesim``  — run the cycle-accurate simulator and print CPI/MLP;
 * ``exhibit``   — regenerate one (or all) of the paper's tables/figures;
-* ``ablation``  — run one of the ablation studies.
+* ``ablation``  — run one of the ablation studies;
+* ``lint``      — statically check the repository invariants
+  (reprolint; see ``docs/STATIC_ANALYSIS.md``).
 
 Examples::
 
@@ -288,6 +290,43 @@ def cmd_inspect(args):
     return 0
 
 
+def cmd_lint(args):
+    """``repro lint``: run the reprolint static-analysis passes.
+
+    Exit codes: 0 when the tree is clean, 1 when any finding is
+    reported, 2 on usage errors (unknown pass ids, bad root).
+    """
+    import json
+
+    from repro.lint import Severity, registered_passes, run_lint
+
+    if args.list:
+        for pass_id, cls in sorted(registered_passes().items()):
+            print(f"{pass_id:<18} {cls.description}")
+        return 0
+    select = None
+    if args.select:
+        select = [
+            item.strip()
+            for chunk in args.select
+            for item in chunk.split(",")
+            if item.strip()
+        ]
+    findings = run_lint(args.root, select=select)
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        ran = ", ".join(select) if select else "all passes"
+        print(
+            f"reprolint: {len(findings)} finding(s)"
+            f" ({ran}, root {args.root})"
+        )
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    return 1 if errors else 0
+
+
 def cmd_report(args):
     """``repro report``: write the full machine-generated markdown report."""
     import os
@@ -389,6 +428,18 @@ def build_parser():
     p.add_argument("-n", "--length", type=int,
                    help="trace length (sets REPRO_TRACE_LEN)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("lint", help="statically check repository invariants")
+    p.add_argument("--root", default=".",
+                   help="project root (the directory containing src/repro)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="output format (default text)")
+    p.add_argument("--select", action="append", metavar="PASS[,PASS...]",
+                   help="run only these passes (repeatable or"
+                   " comma-separated; see --list)")
+    p.add_argument("--list", action="store_true",
+                   help="list the registered passes and exit")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("ablation", help="run ablation studies")
     p.add_argument("names", nargs="*", help="ablation names (default: all)")

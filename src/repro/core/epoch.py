@@ -11,6 +11,7 @@ import dataclasses
 import typing
 
 from repro.core.termination import Inhibitor
+from repro.robustness.errors import SimulationError
 
 
 class TriggerKind:
@@ -40,7 +41,7 @@ class Epoch:
 
     def __post_init__(self):
         if self.accesses < 1:
-            raise ValueError("an epoch contains at least one off-chip access")
+            raise SimulationError("an epoch contains at least one off-chip access")
 
     def __repr__(self):
         body = (
@@ -61,7 +62,7 @@ def epoch_sets(epochs):
     sets = []
     for epoch in epochs:
         if epoch.members is None:
-            raise ValueError(
+            raise SimulationError(
                 "epoch sets were not recorded; run the simulator with"
                 " record_sets=True"
             )

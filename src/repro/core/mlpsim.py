@@ -75,6 +75,7 @@ from repro.core.results import MLPResult
 from repro.core.termination import Inhibitor, InhibitorCounts
 from repro.isa.opclass import OpClass
 from repro.isa.registers import REG_ZERO
+from repro.robustness.errors import InternalError
 
 #: Result epoch of an instruction that has not executed yet.
 NOT_EXECUTED = 1 << 30
@@ -1039,7 +1040,7 @@ def _simulate_ooo(annotated, machine, start, stop, workload, record_sets):
         if accesses == 0:
             if not progress:
                 where = deferred[0] + start if deferred else fetch_pos + start
-                raise RuntimeError(
+                raise InternalError(
                     f"MLPsim made no progress in an epoch at instruction {where}"
                 )
             continue  # pure on-chip stretch: not an epoch

@@ -29,6 +29,7 @@ import dataclasses
 
 from repro.core.config import MachineConfig
 from repro.core.mlpsim import simulate
+from repro.robustness.errors import SimulationError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -58,7 +59,7 @@ def profile_from_result(result, region_start=None, workload=None):
     thread retires between misses.
     """
     if result.epoch_records is None:
-        raise ValueError(
+        raise SimulationError(
             "profile_from_result needs epoch records; run MLPsim with"
             " record_sets=True"
         )
@@ -146,9 +147,9 @@ def simulate_smt(profiles, ipc=2.0, latency=1000):
         Off-chip access latency in cycles (every epoch costs one).
     """
     if not profiles:
-        raise ValueError("simulate_smt needs at least one thread")
+        raise SimulationError("simulate_smt needs at least one thread")
     if ipc <= 0 or latency <= 0:
-        raise ValueError("ipc and latency must be positive")
+        raise SimulationError("ipc and latency must be positive")
 
     # Thread state: remaining phase list, instructions left in the
     # current compute phase, or the cycle its epoch completes.

@@ -3,6 +3,7 @@
 import dataclasses
 
 from repro.core.config import IssueConfig, MachineConfig
+from repro.robustness.errors import ConfigError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,15 +46,15 @@ class CycleSimConfig:
 
     def __post_init__(self):
         if self.rob < self.issue_window:
-            raise ValueError("the ROB cannot be smaller than the issue window")
+            raise ConfigError("the ROB cannot be smaller than the issue window")
         if self.miss_penalty <= self.l2_latency:
-            raise ValueError("off-chip latency must exceed the L2 latency")
+            raise ConfigError("off-chip latency must exceed the L2 latency")
 
     @classmethod
     def from_machine(cls, machine, miss_penalty=1000, **overrides):
         """Build a timing config matching a :class:`MachineConfig`."""
         if machine.runahead:
-            raise ValueError("the cycle simulator does not implement runahead")
+            raise ConfigError("the cycle simulator does not implement runahead")
         fields = {
             "issue": machine.issue,
             "issue_window": machine.issue_window,

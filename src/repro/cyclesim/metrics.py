@@ -8,6 +8,7 @@ the accumulator integrates counts over the intervals between changes.
 """
 
 import dataclasses
+from repro.robustness.errors import InternalError
 
 #: CPI-stack categories, in display order.
 STALL_CATEGORIES = (
@@ -121,4 +122,4 @@ class OutstandingTracker:
         self.advance(now)
         self.count += delta
         if self.count < 0:
-            raise RuntimeError("outstanding access count went negative")
+            raise InternalError("outstanding access count went negative")

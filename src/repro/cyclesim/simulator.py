@@ -32,6 +32,7 @@ from repro.core.mlpsim import event_masks, resolve_region
 from repro.cyclesim.config import CycleSimConfig
 from repro.cyclesim.metrics import CycleMetrics, OutstandingTracker
 from repro.isa.opclass import OpClass
+from repro.robustness.errors import InternalError
 
 _NEVER = 1 << 60
 _LINE_SHIFT = 6
@@ -394,7 +395,7 @@ def run_cyclesim(annotated, config=None, start=None, stop=None, workload=None):
         if now < serializing_block_until < next_time:
             next_time = serializing_block_until
         if next_time <= now or next_time >= _NEVER:
-            raise RuntimeError(
+            raise InternalError(
                 f"cycle simulator deadlocked at cycle {now}"
                 f" (committed {committed}/{n})"
             )

@@ -15,6 +15,7 @@ from repro.experiments.common import (
     default_trace_len,
     get_annotated,
 )
+from repro.robustness.errors import ConfigError
 
 __all__ = [
     "DEFAULT_SEED",
@@ -49,7 +50,7 @@ def run_exhibit(name, **kwargs):
     try:
         module_name = EXHIBITS[name]
     except KeyError:
-        raise ValueError(
+        raise ConfigError(
             f"unknown exhibit {name!r}; expected one of {sorted(EXHIBITS)}"
         ) from None
     module = importlib.import_module(module_name)

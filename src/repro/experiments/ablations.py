@@ -29,6 +29,7 @@ from repro.experiments.common import (
     WORKLOAD_NAMES,
     get_annotated,
 )
+from repro.robustness.errors import ConfigError
 
 MSHR_SIZES = (1, 2, 4, 8, 16, 32, None)
 STORE_BUFFER_SIZES = (1, 2, 4, 8, 16, None)
@@ -351,7 +352,7 @@ def run_ablation(name, **kwargs):
     try:
         func = ABLATIONS[name]
     except KeyError:
-        raise ValueError(
+        raise ConfigError(
             f"unknown ablation {name!r}; expected one of {sorted(ABLATIONS)}"
         ) from None
     return func(**kwargs)

@@ -28,6 +28,7 @@ from repro.isa.opclass import (
     is_store_like,
 )
 from repro.isa.registers import REG_NONE, REG_ZERO, register_name
+from repro.robustness.errors import TraceFormatError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,9 +48,9 @@ class Instruction:
 
     def __post_init__(self):
         if self.op == OpClass.PREFETCH and self.dst != REG_NONE:
-            raise ValueError("prefetches must not write a register")
+            raise TraceFormatError("prefetches must not write a register")
         if self.src3 != REG_NONE and not is_store_like(self.op):
-            raise ValueError("src3 (store data) is only valid on store-like ops")
+            raise TraceFormatError("src3 (store data) is only valid on store-like ops")
 
     # -- classification helpers -------------------------------------------
 

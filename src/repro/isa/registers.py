@@ -7,6 +7,8 @@ state is folded into the same file because MLP only cares about
 dependence structure, not operand types.
 """
 
+from repro.robustness.errors import TraceFormatError
+
 #: Total number of architectural registers.
 NUM_REGS = 64
 
@@ -51,6 +53,6 @@ def register_name(reg):
     if reg == REG_NONE:
         return "--"
     if not 0 <= reg < NUM_REGS:
-        raise ValueError(f"register index out of range: {reg}")
+        raise TraceFormatError(f"register index out of range: {reg}")
     group, offset = divmod(reg, 8)
     return f"%{_GROUPS[group]}{offset}"

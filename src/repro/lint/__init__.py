@@ -1,0 +1,42 @@
+"""reprolint: AST-based enforcement of the repository's invariants.
+
+PR 1 and PR 2 established repo-wide conventions — every rejection in
+``src/repro`` raises a :class:`~repro.robustness.errors.ReproError`
+subclass, result files go through :mod:`repro.robustness.atomic`,
+simulations are bit-reproducible, and ``repro.core.mlpsim_reference``
+is a frozen oracle.  This package *proves* those invariants hold on
+every commit instead of discovering breakage at the bottom of a sweep:
+each invariant is a :class:`~repro.lint.framework.LintPass` that walks
+the abstract syntax tree of the source tree and reports structured
+:class:`~repro.lint.findings.Finding` records.
+
+Usage::
+
+    python -m repro lint                       # whole tree, text output
+    python -m repro lint --format json         # machine-readable
+    python -m repro lint --select determinism  # a subset of passes
+
+A finding can be suppressed at the offending line with a trailing
+``# reprolint: disable=<pass-id>`` comment (comma-separate several ids,
+or use ``all``).  See ``docs/STATIC_ANALYSIS.md`` for the pass
+catalogue and how to add a new pass.
+"""
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.framework import (
+    LintPass,
+    ModuleInfo,
+    Project,
+    registered_passes,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintPass",
+    "ModuleInfo",
+    "Project",
+    "registered_passes",
+    "run_lint",
+]

@@ -1,0 +1,54 @@
+"""Structured lint findings.
+
+Every pass reports :class:`Finding` records rather than printing, so
+the CLI can render text or JSON, tests can assert on exact findings,
+and CI can archive the machine-readable form.
+"""
+
+import dataclasses
+import enum
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail the build; ``WARNING`` findings are
+    reported but do not affect the exit code (no current pass emits
+    them — the level exists so a new pass can be introduced
+    observe-only before being promoted to enforcing).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at a specific source location.
+
+    Ordering is (path, line, pass id) so reports read top-to-bottom
+    per file regardless of which pass found what.
+    """
+
+    path: str
+    line: int
+    pass_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format(self):
+        """Render the conventional one-line ``path:line: ...`` form."""
+        return (
+            f"{self.path}:{self.line}: [{self.pass_id}]"
+            f" {self.severity.value}: {self.message}"
+        )
+
+    def to_dict(self):
+        """JSON-serialisable representation (for ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "pass": self.pass_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }

@@ -1,0 +1,21 @@
+"""Pinned content hashes for frozen files.
+
+``repro.core.mlpsim_reference`` is the pre-optimization MLPsim engine,
+kept bit-identical as the oracle for the engine-equivalence suite
+(PR 2).  Its usefulness rests entirely on it never changing, so the
+``frozen-oracle`` lint pass verifies the file's SHA-256 against the
+value pinned here.  An edit to the oracle therefore requires an edit
+to this manifest in the same commit — an explicit, reviewable act
+rather than a quiet drive-by change.
+
+The hash is computed over the file text with ``\\r\\n`` normalised to
+``\\n``, so checkouts with translated line endings still verify.
+"""
+
+#: Root-relative path of the frozen reference engine.
+ORACLE_PATH = "src/repro/core/mlpsim_reference.py"
+
+#: SHA-256 of the oracle's (newline-normalised) content.
+ORACLE_SHA256 = (
+    "b2188eacade21d0d3b056dbe43b99a7ff76fe5d4eee82013fa085dcc6443e961"
+)

@@ -1,0 +1,87 @@
+"""atomic-writes: result files must go through repro.robustness.atomic.
+
+PR 1 made every archive/report/benchmark write crash-safe by routing
+it through write-temp-then-rename helpers.  A direct ``open(path,
+"w")``, ``np.savez``, ``json.dump`` or ``Path.write_text`` in library
+code can leave a truncated file behind an interrupted run, silently
+corrupting a sweep's results.  This pass flags those call sites
+anywhere in ``src/repro`` outside ``robustness/`` (where the atomic
+helpers themselves live).
+"""
+
+import ast
+
+from repro.lint.astutil import call_name, str_constant
+from repro.lint.framework import LintPass, register
+
+EXEMPT_PREFIXES = ("src/repro/robustness/",)
+
+#: Dotted callee names that persist data and bypass the atomic layer.
+_SAVE_CALLS = frozenset({
+    "np.savez",
+    "np.savez_compressed",
+    "np.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+    "numpy.save",
+    "json.dump",
+    "pickle.dump",
+})
+
+#: Attribute names that write through a path object.
+_PATH_WRITERS = frozenset({"write_text", "write_bytes"})
+
+_HELP = (
+    "; route the write through repro.robustness.atomic"
+    " (atomic_write / atomic_write_text / atomic_savez)"
+)
+
+
+def _open_write_mode(call):
+    """The write mode string of an ``open()`` call, or ``None``."""
+    mode = None
+    if len(call.args) >= 2:
+        mode = str_constant(call.args[1])
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = str_constant(kw.value)
+    if mode is not None and any(ch in mode for ch in "wax+"):
+        return mode
+    return None
+
+
+@register
+class AtomicWritesPass(LintPass):
+    id = "atomic-writes"
+    description = (
+        "direct file writes (open-for-write / np.savez / json.dump)"
+        " must use the repro.robustness.atomic helpers"
+    )
+
+    def check_module(self, module, project):
+        if module.relpath.startswith(EXEMPT_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "open":
+                mode = _open_write_mode(node)
+                if mode is not None:
+                    yield self.finding(
+                        module, node.lineno,
+                        f"open(..., {mode!r}) writes directly" + _HELP,
+                    )
+            elif name in _SAVE_CALLS:
+                yield self.finding(
+                    module, node.lineno,
+                    f"{name}(...) writes directly" + _HELP,
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _PATH_WRITERS
+            ):
+                yield self.finding(
+                    module, node.lineno,
+                    f".{node.func.attr}(...) writes directly" + _HELP,
+                )

@@ -1,0 +1,77 @@
+"""config-attrs: experiment configs may only set real dataclass fields.
+
+A sweep that passes ``robb=256`` where it meant ``rob=256`` either
+crashes mid-campaign or — with ``dataclasses.replace`` on a config the
+call site built itself — silently measures the wrong machine.  The
+runtime layer already rejects unknown ``MachineConfig.named``
+overrides, but only when that configuration is actually reached; a
+typo in the last point of a 40-point grid survives until hour N.  This
+pass checks every config-constructing call in ``experiments/``
+statically, against the real dataclass fields.
+"""
+
+import ast
+import dataclasses
+
+from repro.lint.astutil import call_name
+from repro.lint.framework import LintPass, register
+
+SCOPE_PREFIX = "src/repro/experiments/"
+
+
+def _machine_fields():
+    from repro.core.config import MachineConfig
+
+    return frozenset(f.name for f in dataclasses.fields(MachineConfig))
+
+
+def _cyclesim_fields():
+    from repro.cyclesim.config import CycleSimConfig
+
+    return frozenset(f.name for f in dataclasses.fields(CycleSimConfig))
+
+
+@register
+class ConfigAttrsPass(LintPass):
+    id = "config-attrs"
+    description = (
+        "keyword arguments to MachineConfig/CycleSimConfig"
+        " constructors and dataclasses.replace must name real fields"
+    )
+
+    def check_module(self, module, project):
+        if not module.relpath.startswith(SCOPE_PREFIX):
+            return
+        machine = _machine_fields()
+        cyclesim = _cyclesim_fields()
+        targets = {
+            "MachineConfig": ("MachineConfig", machine),
+            "MachineConfig.named": ("MachineConfig", machine),
+            "MachineConfig.runahead_machine": ("MachineConfig", machine),
+            "CycleSimConfig": ("CycleSimConfig", cyclesim),
+            "CycleSimConfig.from_machine": ("CycleSimConfig", cyclesim),
+            "dataclasses.replace": ("the config", machine | cyclesim),
+            "replace": ("the config", machine | cyclesim),
+        }
+        for node in ast.walk(module.tree):
+            name = call_name(node) if isinstance(node, ast.Call) else None
+            if name is None:
+                continue
+            matched = targets.get(name)
+            if matched is None:
+                # Qualified spellings like config.MachineConfig.named.
+                for suffix, entry in targets.items():
+                    if "." in suffix and name.endswith("." + suffix):
+                        matched = entry
+                        break
+            if matched is None:
+                continue
+            owner, valid = matched
+            for kw in node.keywords:
+                if kw.arg is not None and kw.arg not in valid:
+                    yield self.finding(
+                        module, node.lineno,
+                        f"{name}(...) sets {kw.arg!r}, which is not a"
+                        f" field of {owner}; valid fields:"
+                        f" {sorted(valid)}",
+                    )

@@ -1,0 +1,142 @@
+"""determinism: engine and analysis code must be bit-reproducible.
+
+The reproduction's contract (and the engine-equivalence suite) is that
+a simulation is a pure function of ``(trace, seed, config)``.  Three
+AST-detectable ways to break that:
+
+* drawing randomness from *module-level* ``random`` / ``np.random``
+  state (or constructing an RNG with no seed) — results then depend on
+  interpreter-global state and import order;
+* reading the wall clock (``time.time``, ``datetime.now``) inside an
+  engine — timestamps belong in reports, not in simulated results;
+* iterating a ``set`` to produce ordered output — CPython set order
+  varies with insertion history and hash randomisation.
+
+Scope: the engine/analysis packages.  ``experiments/`` (which times
+exhibits for its summary tables), ``robustness/`` (the fault-injection
+harness), ``lint/`` and the CLI are exempt.
+"""
+
+import ast
+
+from repro.lint.astutil import call_name
+from repro.lint.framework import LintPass, register
+
+EXEMPT_PREFIXES = (
+    "src/repro/experiments/",
+    "src/repro/robustness/",
+    "src/repro/lint/",
+)
+EXEMPT_FILES = (
+    "src/repro/cli.py",
+    "src/repro/__main__.py",
+)
+
+#: Module-level sampling functions of the stdlib ``random`` module.
+_RANDOM_FUNCS = frozenset({
+    "random", "randrange", "randint", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "seed", "betavariate", "expovariate",
+    "normalvariate", "lognormvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "triangular", "getrandbits", "randbytes",
+})
+
+#: numpy.random constructors that are fine *when given a seed*.
+_SEEDABLE = frozenset({"default_rng", "RandomState", "Generator",
+                       "SeedSequence"})
+
+_WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.date.today",
+    "date.today",
+})
+
+
+def _is_seedless(call):
+    return not call.args and not call.keywords
+
+
+@register
+class DeterminismPass(LintPass):
+    id = "determinism"
+    description = (
+        "engine/analysis code may not use unseeded RNGs, wall-clock"
+        " reads, or set-iteration ordering"
+    )
+
+    def check_module(self, module, project):
+        if module.relpath.startswith(EXEMPT_PREFIXES):
+            return
+        if module.relpath in EXEMPT_FILES:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, ast.For):
+                yield from self._check_set_iteration(module, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    yield from self._check_set_iteration(
+                        module, generator.iter
+                    )
+
+    def _check_call(self, module, node):
+        name = call_name(node)
+        if name is None:
+            return
+        if name in _WALL_CLOCK:
+            yield self.finding(
+                module, node.lineno,
+                f"{name}() reads the wall clock in engine/analysis code;"
+                " results must be a pure function of (trace, seed,"
+                " config)",
+            )
+            return
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] in _RANDOM_FUNCS:
+                yield self.finding(
+                    module, node.lineno,
+                    f"{name}() draws from module-level random state; use"
+                    " an explicitly seeded random.Random(seed) instance",
+                )
+            elif parts[1] == "Random" and _is_seedless(node):
+                yield self.finding(
+                    module, node.lineno,
+                    "random.Random() without a seed is nondeterministic;"
+                    " pass an explicit seed",
+                )
+        elif len(parts) >= 2 and parts[-2] == "random" and \
+                parts[0] in ("np", "numpy"):
+            func = parts[-1]
+            if func in _SEEDABLE:
+                if _is_seedless(node):
+                    yield self.finding(
+                        module, node.lineno,
+                        f"{name}() without a seed is nondeterministic;"
+                        " pass an explicit seed",
+                    )
+            else:
+                yield self.finding(
+                    module, node.lineno,
+                    f"{name}() uses numpy's global RNG state; use an"
+                    " explicitly seeded np.random.default_rng(seed)",
+                )
+
+    def _check_set_iteration(self, module, iter_node):
+        is_set = (
+            isinstance(iter_node, (ast.Set, ast.SetComp))
+            or (isinstance(iter_node, ast.Call)
+                and call_name(iter_node) in ("set", "frozenset"))
+        )
+        if is_set:
+            yield self.finding(
+                module, iter_node.lineno,
+                "iterating a set feeds nondeterministic ordering into"
+                " results; sort it first (sorted(...))",
+            )

@@ -1,0 +1,110 @@
+"""exhibit-registry: exhibit modules and the EXHIBITS map agree.
+
+``repro exhibit all``, the fail-soft runner, the report generator and
+the benchmark suite all iterate ``repro.experiments.EXHIBITS``.  An
+exhibit module that exists on disk but is missing from the registry is
+silently never run (a reproduction that quietly stops reproducing);
+a registry entry whose module is gone (or lost its ``run`` function)
+fails at dispatch time.  This pass cross-checks both directions
+statically.
+"""
+
+import ast
+import re
+
+from repro.lint.astutil import str_constant
+from repro.lint.framework import LintPass, register
+
+REGISTRY_PATH = "src/repro/experiments/__init__.py"
+
+#: Filenames under experiments/ that are exhibit modules by convention.
+_EXHIBIT_FILE = re.compile(r"^(figure|table)[\w]*\.py$")
+
+
+def _find_exhibits_dict(tree):
+    """The ``EXHIBITS = {...}`` dict node, or ``None``."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "EXHIBITS":
+                    if isinstance(node.value, ast.Dict):
+                        return node.value
+    return None
+
+
+def _defines_run(tree):
+    return any(
+        isinstance(node, ast.FunctionDef) and node.name == "run"
+        for node in tree.body
+    )
+
+
+@register
+class ExhibitRegistryPass(LintPass):
+    id = "exhibit-registry"
+    description = (
+        "every exhibit module is registered in EXHIBITS and every"
+        " EXHIBITS entry resolves to a module with run()"
+    )
+
+    def check_project(self, project):
+        registry_module = project.module(REGISTRY_PATH)
+        if registry_module is None or registry_module.tree is None:
+            return
+        exhibits = _find_exhibits_dict(registry_module.tree)
+        if exhibits is None:
+            yield self.finding(
+                registry_module, 1,
+                "no EXHIBITS dict literal found; the exhibit registry"
+                " must be a statically checkable module-level dict",
+            )
+            return
+
+        registered = {}
+        for key, value in zip(exhibits.keys, exhibits.values):
+            name = str_constant(key)
+            target = str_constant(value)
+            if name is None or target is None:
+                yield self.finding(
+                    registry_module, key.lineno,
+                    "EXHIBITS entries must be string literals",
+                )
+                continue
+            registered[name] = (target, key.lineno)
+
+        # Registered -> on disk, with a run() entry point.
+        for name, (target, lineno) in registered.items():
+            relpath = "src/" + target.replace(".", "/") + ".py"
+            module = project.module(relpath)
+            if module is None:
+                yield self.finding(
+                    registry_module, lineno,
+                    f"exhibit {name!r} is registered as {target} but"
+                    f" {relpath} does not exist",
+                )
+            elif module.tree is not None and not _defines_run(module.tree):
+                yield self.finding(
+                    registry_module, lineno,
+                    f"exhibit {name!r} module {target} defines no"
+                    " top-level run() function",
+                )
+
+        # On disk -> registered.
+        registered_paths = {
+            "src/" + target.replace(".", "/") + ".py"
+            for target, _ in registered.values()
+        }
+        prefix = "src/repro/experiments/"
+        for module in project.modules:
+            if not module.relpath.startswith(prefix):
+                continue
+            filename = module.relpath[len(prefix):]
+            if "/" in filename or not _EXHIBIT_FILE.match(filename):
+                continue
+            if module.relpath not in registered_paths:
+                yield self.finding(
+                    module, 1,
+                    f"exhibit module {module.relpath} is not registered"
+                    " in repro.experiments.EXHIBITS; it will never run"
+                    " under `repro exhibit all`",
+                )

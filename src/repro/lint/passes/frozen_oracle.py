@@ -1,0 +1,95 @@
+"""frozen-oracle: mlpsim_reference is immutable and self-contained.
+
+PR 2 held the optimized MLPsim engine bit-identical to the frozen
+pre-optimization engine ``repro.core.mlpsim_reference``; the
+engine-equivalence suite derives all its power from that file never
+changing.  Two statically checkable properties protect it:
+
+* the oracle may not import the engine under test: a whole-module
+  import of ``repro.core.mlpsim`` or a ``from``-import of anything
+  beyond the three shared trace-plumbing helpers the frozen file has
+  always used (``NOT_EXECUTED``, ``event_masks``, ``resolve_region``)
+  would let the oracle delegate to the code it is supposed to
+  validate, which proves nothing;
+* its content SHA-256 must match the manifest pinned in
+  :mod:`repro.lint.manifest` — editing the oracle without updating the
+  manifest (a loud, reviewable diff) fails the build.
+
+If the tree has an engine but no oracle at all, that is also reported:
+deleting the oracle must not silently pass.
+"""
+
+import ast
+import hashlib
+
+from repro.lint import manifest
+from repro.lint.framework import LintPass, register
+
+ENGINE_PATH = "src/repro/core/mlpsim.py"
+
+#: Module spellings that resolve to the engine under test.
+_ENGINE_MODULES = ("repro.core.mlpsim", "mlpsim")
+
+#: Shared trace-plumbing names the frozen oracle has always imported
+#: from the engine module; anything else (simulate, the interpreter
+#: tables, ``*``) is delegation.
+_ALLOWED_FROM_ENGINE = frozenset({
+    "NOT_EXECUTED", "event_masks", "resolve_region",
+})
+
+
+def _imports_engine(node):
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name in _ENGINE_MODULES for alias in node.names
+        )
+    if isinstance(node, ast.ImportFrom):
+        if node.module in _ENGINE_MODULES:
+            return any(
+                alias.name not in _ALLOWED_FROM_ENGINE
+                for alias in node.names
+            )
+        if node.module == "repro.core" or (
+            node.level >= 1 and node.module in (None, "")
+        ):
+            return any(alias.name == "mlpsim" for alias in node.names)
+    return False
+
+
+@register
+class FrozenOraclePass(LintPass):
+    id = "frozen-oracle"
+    description = (
+        "mlpsim_reference.py must match its pinned hash and must not"
+        " import the engine under test"
+    )
+
+    def check_project(self, project):
+        oracle = project.module(manifest.ORACLE_PATH)
+        if oracle is None:
+            if project.module(ENGINE_PATH) is not None:
+                yield self.finding(
+                    ENGINE_PATH, 1,
+                    f"{manifest.ORACLE_PATH} is missing: the frozen"
+                    " oracle must exist alongside the engine",
+                )
+            return
+        if oracle.tree is not None:
+            for node in ast.walk(oracle.tree):
+                if _imports_engine(node):
+                    yield self.finding(
+                        oracle, node.lineno,
+                        "the frozen oracle imports repro.core.mlpsim;"
+                        " the reference engine must stay independent of"
+                        " the engine it validates",
+                    )
+        digest = hashlib.sha256(oracle.source.encode()).hexdigest()
+        if digest != manifest.ORACLE_SHA256:
+            yield self.finding(
+                oracle, 1,
+                "content hash does not match the pinned manifest"
+                f" (got {digest[:12]}…, pinned"
+                f" {manifest.ORACLE_SHA256[:12]}…); the oracle is frozen"
+                " — revert the edit, or update repro.lint.manifest in"
+                " the same reviewed change",
+            )

@@ -8,6 +8,7 @@ both simple and fast at the 4-way associativities used here.
 """
 
 import dataclasses
+from repro.robustness.errors import ConfigError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -20,14 +21,14 @@ class CacheConfig:
 
     def __post_init__(self):
         if self.line_bytes & (self.line_bytes - 1):
-            raise ValueError("line size must be a power of two")
+            raise ConfigError("line size must be a power of two")
         if self.size_bytes % (self.associativity * self.line_bytes):
-            raise ValueError(
+            raise ConfigError(
                 "cache size must be a multiple of associativity * line size"
             )
         num_sets = self.size_bytes // (self.associativity * self.line_bytes)
         if num_sets & (num_sets - 1):
-            raise ValueError("number of sets must be a power of two")
+            raise ConfigError("number of sets must be a power of two")
 
     @property
     def num_sets(self):

@@ -7,6 +7,8 @@ measure instantaneous MLP, MLP(t), exactly as Section 2.1 prescribes
 cycle t").
 """
 
+from repro.robustness.errors import InternalError
+
 
 class MSHRFile:
     """Outstanding off-chip misses, keyed by line address.
@@ -47,7 +49,7 @@ class MSHRFile:
             self.merges += 1
             return existing
         if self.is_full():
-            raise RuntimeError("MSHR file exhausted")
+            raise InternalError("MSHR file exhausted")
         self._inflight[line] = completion_cycle
         self.allocations += 1
         return completion_cycle

@@ -14,6 +14,7 @@ import dataclasses
 
 from repro.isa.opclass import OpClass
 from repro.memory.hierarchy import AccessLevel, Hierarchy
+from repro.robustness.errors import ConfigError
 
 
 class NextLinePrefetcher:
@@ -21,7 +22,7 @@ class NextLinePrefetcher:
 
     def __init__(self, degree=2, line_bytes=64):
         if degree <= 0:
-            raise ValueError("prefetch degree must be positive")
+            raise ConfigError("prefetch degree must be positive")
         self.degree = degree
         self.line_bytes = line_bytes
 
@@ -46,7 +47,7 @@ class StridePrefetcher:
 
     def __init__(self, entries=1024, degree=2, threshold=2):
         if entries & (entries - 1):
-            raise ValueError("table size must be a power of two")
+            raise ConfigError("table size must be a power of two")
         self.entries = entries
         self.degree = degree
         self.threshold = threshold

@@ -6,6 +6,8 @@ traffic to page walks), so the TLB exists for characterisation only: it
 counts translation misses but does not create off-chip accesses.
 """
 
+from repro.robustness.errors import ConfigError
+
 
 class TLB:
     """Fully-associative-by-construction LRU TLB over fixed-size pages.
@@ -17,7 +19,7 @@ class TLB:
 
     def __init__(self, entries=2048, page_bytes=8192):
         if page_bytes & (page_bytes - 1):
-            raise ValueError("page size must be a power of two")
+            raise ConfigError("page size must be a power of two")
         self.entries = entries
         self.page_shift = page_bytes.bit_length() - 1
         self._pages = {}

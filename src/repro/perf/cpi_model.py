@@ -22,6 +22,7 @@ within 2% of the cycle simulator.
 """
 
 import dataclasses
+from repro.robustness.errors import ConfigError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,9 +49,9 @@ class CPIBreakdown:
 
 def _validate(miss_penalty, mlp):
     if miss_penalty <= 0:
-        raise ValueError("miss penalty must be positive")
+        raise ConfigError("miss penalty must be positive")
     if mlp <= 0:
-        raise ValueError("MLP must be positive")
+        raise ConfigError("MLP must be positive")
 
 
 def estimate_cpi(cpi_perf, overlap_cm, miss_rate, miss_penalty, mlp):
@@ -75,7 +76,7 @@ def derive_overlap_cm(cpi, cpi_perf, miss_rate, miss_penalty, mlp):
     """
     _validate(miss_penalty, mlp)
     if cpi_perf <= 0:
-        raise ValueError("CPI_perf must be positive")
+        raise ConfigError("CPI_perf must be positive")
     off_chip = miss_rate * miss_penalty / mlp
     overlap = 1.0 - (cpi - off_chip) / cpi_perf
     return min(1.0, max(0.0, overlap))
@@ -108,5 +109,5 @@ def speedup(cpi_baseline, cpi_new):
     faster" (instructions per cycle ratio minus one).
     """
     if cpi_new <= 0 or cpi_baseline <= 0:
-        raise ValueError("CPI values must be positive")
+        raise ConfigError("CPI values must be positive")
     return cpi_baseline / cpi_new - 1.0

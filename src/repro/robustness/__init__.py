@@ -26,6 +26,7 @@ from repro.robustness.atomic import atomic_savez, atomic_write, atomic_write_tex
 from repro.robustness.errors import (
     ConfigError,
     ExhibitTimeout,
+    InternalError,
     ReproError,
     SimulationError,
     TraceFormatError,
@@ -43,6 +44,7 @@ __all__ = [
     "ConfigError",
     "SimulationError",
     "ExhibitTimeout",
+    "InternalError",
     "validate_trace",
     "validate_annotated",
     "validate_archive_columns",

@@ -15,7 +15,11 @@ Class                     Raised for
 :class:`ConfigError`      invalid machine or experiment configs
 :class:`SimulationError`  invalid simulator invocations
 :class:`ExhibitTimeout`   an exhibit exceeding its time budget
+:class:`InternalError`    violated internal simulator invariants
 ========================  =====================================
+
+The ``error-hierarchy`` lint pass (``repro lint``) enforces that every
+``raise`` in ``src/repro`` uses one of these classes.
 """
 
 
@@ -71,3 +75,15 @@ class SimulationError(ReproError, ValueError):
 
 class ExhibitTimeout(SimulationError):
     """An exhibit exceeded its per-exhibit wall-clock budget."""
+
+
+class InternalError(ReproError, RuntimeError):
+    """A simulator's internal consistency check failed.
+
+    Raised for states that indicate a bug or an unsimulatable input
+    rather than a rejectable argument: an engine making no forward
+    progress (livelock), the cycle simulator deadlocking, a resource
+    count going negative, an MSHR allocation with no free entry.
+    Inherits :class:`RuntimeError` — the builtin these checks raised
+    before the hierarchy — so existing callers keep working unchanged.
+    """

@@ -58,7 +58,7 @@ def _read_archive(path, kind):
             return {name: archive[name] for name in archive.files}
     except TraceFormatError:
         raise
-    except (zipfile.BadZipFile, ValueError, EOFError, KeyError) as error:
+    except (zipfile.BadZipFile, ValueError, EOFError, KeyError, OSError) as error:
         raise TraceFormatError(
             f"unreadable {kind} archive ({error})", path=path
         ) from error

@@ -12,6 +12,7 @@ training stream is the miss stream, not every load.
 """
 
 import dataclasses
+from repro.robustness.errors import ConfigError
 
 
 @dataclasses.dataclass
@@ -66,7 +67,7 @@ class LastValuePredictor:
 
     def __init__(self, entries=16 * 1024, threshold=2):
         if entries & (entries - 1):
-            raise ValueError("value predictor size must be a power of two")
+            raise ConfigError("value predictor size must be a power of two")
         self.entries = entries
         self.threshold = threshold
         self._mask = entries - 1

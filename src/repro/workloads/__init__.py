@@ -24,6 +24,7 @@ from repro.workloads.calibration import (
     PAPER_TARGETS,
     check_calibration,
 )
+from repro.robustness.errors import ConfigError
 
 #: The paper's three workloads, plus the scientific contrast case the
 #: introduction draws (``streaming`` is not a paper benchmark).
@@ -43,7 +44,7 @@ def get_workload(name, seed=1234, **params):
     try:
         cls = WORKLOADS[name]
     except KeyError:
-        raise ValueError(
+        raise ConfigError(
             f"unknown workload {name!r}; expected one of {sorted(WORKLOADS)}"
         ) from None
     return cls(seed=seed, **params)

@@ -16,6 +16,7 @@ import random
 
 from repro.isa.registers import REG_NONE
 from repro.trace.builder import TraceBuilder
+from repro.robustness.errors import ConfigError
 
 
 class Emitter:
@@ -136,7 +137,7 @@ class SyntheticWorkload:
         used for every call.
         """
         if length <= 0:
-            raise ValueError("trace length must be positive")
+            raise ConfigError("trace length must be positive")
         rng = random.Random(self.seed)
         self.setup(rng)
         builder = TraceBuilder(name=self.name)

@@ -13,6 +13,7 @@ import dataclasses
 
 from repro.trace.annotate import annotate
 from repro.trace.stats import compute_stats
+from repro.robustness.errors import ConfigError
 
 
 @dataclasses.dataclass(frozen=True)
@@ -85,13 +86,13 @@ class CalibrationReport:
         return "\n".join(
             [
                 f"calibration[{self.name}]",
-                f"  L2 load miss rate /100: measured"
+                "  L2 load miss rate /100: measured"
                 f" {self.measured_miss_rate:.3f} vs paper"
                 f" {self.target_miss_rate:.2f}",
-                f"  serializing fraction:   measured"
+                "  serializing fraction:   measured"
                 f" {self.measured_serializing:.4f} vs paper"
                 f" ~{self.target_serializing:.4f}",
-                f"  VP correct on misses:   measured"
+                "  VP correct on misses:   measured"
                 f" {self.measured_vp_correct:.2%} vs paper"
                 f" {self.target_vp_correct:.0%}",
                 f"  I-misses /100 insts:    {self.measured_imiss_per_100:.3f}",
@@ -106,7 +107,7 @@ def check_calibration(trace, annotated=None):
     reuse an existing annotation.
     """
     if trace.name not in PAPER_TARGETS:
-        raise ValueError(f"no calibration targets for workload {trace.name!r}")
+        raise ConfigError(f"no calibration targets for workload {trace.name!r}")
     target = PAPER_TARGETS[trace.name]
     ann = annotated or annotate(trace)
     start = ann.measure_start

@@ -17,6 +17,7 @@
 
 import bisect
 import itertools
+from repro.robustness.errors import ConfigError
 
 
 class Region:
@@ -24,7 +25,7 @@ class Region:
 
     def __init__(self, base, size, line_bytes=64):
         if base % line_bytes:
-            raise ValueError("region base must be line-aligned")
+            raise ConfigError("region base must be line-aligned")
         self.base = base
         self.size = size
         self.line_bytes = line_bytes
@@ -111,7 +112,7 @@ class RecentPool:
 
     def __init__(self, capacity):
         if capacity <= 0:
-            raise ValueError("RecentPool capacity must be positive")
+            raise ConfigError("RecentPool capacity must be positive")
         self.capacity = capacity
         self._lines = []
         self._cursor = 0
@@ -144,7 +145,7 @@ class ZipfSampler:
 
     def __init__(self, n, exponent=1.0):
         if n <= 0:
-            raise ValueError("ZipfSampler needs at least one item")
+            raise ConfigError("ZipfSampler needs at least one item")
         weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
         self._cumulative = list(itertools.accumulate(weights))
         self._total = self._cumulative[-1]

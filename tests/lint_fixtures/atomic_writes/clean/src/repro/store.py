@@ -1,0 +1,16 @@
+"""Clean fixture: persistence goes through the atomic helpers."""
+
+from repro.robustness.atomic import atomic_savez, atomic_write_text
+
+
+def save_results(path, arrays):
+    atomic_savez(path, **arrays)
+
+
+def save_report(path, text):
+    atomic_write_text(path, text)
+
+
+def load_results(path):
+    with open(path, "rb") as handle:
+        return handle.read()

@@ -1,0 +1,18 @@
+"""Violating fixture: direct writes that bypass the atomic layer."""
+
+import json
+
+import numpy as np
+
+
+def save_results(path, arrays):
+    np.savez_compressed(path, **arrays)
+
+
+def save_report(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def save_note(path, text):
+    path.write_text(text)

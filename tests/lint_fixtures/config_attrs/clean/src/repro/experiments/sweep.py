@@ -1,0 +1,14 @@
+"""Clean fixture: config constructors name real dataclass fields."""
+
+import dataclasses
+
+from repro.core.config import MachineConfig
+from repro.cyclesim.config import CycleSimConfig
+
+
+def grid():
+    base = MachineConfig.named("64C", rob=256, store_buffer=8)
+    rae = MachineConfig.runahead_machine(max_runahead=512)
+    perfect = dataclasses.replace(base, perfect_branch=True)
+    timing = CycleSimConfig.from_machine(base, miss_penalty=500)
+    return [base, rae, perfect, timing]

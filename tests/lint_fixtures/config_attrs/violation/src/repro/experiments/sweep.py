@@ -1,0 +1,13 @@
+"""Violating fixture: misspelled config fields in a sweep grid."""
+
+import dataclasses
+
+from repro.core.config import MachineConfig
+from repro.cyclesim.config import CycleSimConfig
+
+
+def grid():
+    base = MachineConfig.named("64C", robb=256)
+    timing = CycleSimConfig.from_machine(base, miss_penalti=500)
+    tweaked = dataclasses.replace(base, max_outstandingg=4)
+    return [base, timing, tweaked]

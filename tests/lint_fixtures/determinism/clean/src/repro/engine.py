@@ -1,0 +1,14 @@
+"""Clean fixture: explicitly seeded RNGs, ordered iteration."""
+
+import random
+
+import numpy as np
+
+
+def build(seed):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    values = [rng.random() for _ in range(4)]
+    values.extend(gen.integers(0, 10, size=4).tolist())
+    for item in sorted(set(values)):
+        yield item

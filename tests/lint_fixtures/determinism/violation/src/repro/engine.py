@@ -1,0 +1,17 @@
+"""Violating fixture: global RNG state, wall clock, set ordering."""
+
+import random
+import time
+
+import numpy as np
+
+
+def build(items):
+    noise = random.random()
+    more = np.random.rand(3)
+    gen = np.random.default_rng()
+    stamp = time.time()
+    out = [noise, stamp, gen.random()] + more.tolist()
+    for item in set(items):
+        out.append(item)
+    return out

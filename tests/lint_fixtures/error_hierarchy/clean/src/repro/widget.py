@@ -1,0 +1,17 @@
+"""Clean fixture: rejections use the ReproError hierarchy."""
+
+from repro.robustness.errors import ConfigError, SimulationError
+
+
+def check_size(size):
+    if size <= 0:
+        raise ConfigError("size must be positive")
+
+
+def check_region(start, stop):
+    if stop < start:
+        raise SimulationError("empty region")
+
+
+def abstract():
+    raise NotImplementedError

@@ -1,0 +1,17 @@
+"""Violating fixture: bare stdlib exceptions at rejection sites."""
+
+
+def check_size(size):
+    if size <= 0:
+        raise ValueError("size must be positive")
+
+
+def check_state(state):
+    if state is None:
+        raise RuntimeError
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(f"unknown key {key!r}")
+    return table[key]

@@ -1,0 +1,5 @@
+"""Clean fixture: registry and exhibit modules agree."""
+
+EXHIBITS = {
+    "figure1": "repro.experiments.figure1",
+}

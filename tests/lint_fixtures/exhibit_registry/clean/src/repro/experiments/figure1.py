@@ -1,0 +1,5 @@
+"""One registered exhibit with the required entry point."""
+
+
+def run(trace_len=None):
+    return "figure1"

@@ -1,0 +1,6 @@
+"""Violating fixture: a stale registry."""
+
+EXHIBITS = {
+    "figure1": "repro.experiments.figure1",
+    "ghost": "repro.experiments.figure9",
+}

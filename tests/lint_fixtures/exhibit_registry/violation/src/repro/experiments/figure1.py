@@ -1,0 +1,5 @@
+"""Registered exhibit that lost its run() entry point."""
+
+
+def main(trace_len=None):
+    return "figure1"

@@ -1,0 +1,5 @@
+"""Exhibit module that exists on disk but is not registered."""
+
+
+def run(trace_len=None):
+    return "figure2"

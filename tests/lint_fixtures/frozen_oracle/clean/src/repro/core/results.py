@@ -1,0 +1,5 @@
+"""Clean fixture: a core tree with no engine and no oracle."""
+
+
+def summarise(values):
+    return sum(values) / max(len(values), 1)

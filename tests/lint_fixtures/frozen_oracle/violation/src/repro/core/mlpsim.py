@@ -1,0 +1,5 @@
+"""Dummy engine under test for the frozen-oracle fixture."""
+
+
+def simulate(annotated, machine):
+    return 0.0

@@ -1,0 +1,7 @@
+"""A 'frozen oracle' that was edited to delegate to the engine."""
+
+from repro.core.mlpsim import simulate
+
+
+def simulate_reference(annotated, machine):
+    return simulate(annotated, machine)

@@ -1,0 +1,11 @@
+"""Suppression fixture: one silenced violation, one live one."""
+
+
+def check_legacy(size):
+    if size <= 0:
+        raise ValueError("kept for parity")  # reprolint: disable=error-hierarchy
+
+
+def check_live(size):
+    if size <= 0:
+        raise ValueError("not suppressed")

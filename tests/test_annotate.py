@@ -1,7 +1,6 @@
 """Tests for the annotation pipeline (trace -> MLPsim events)."""
 
 import numpy as np
-import pytest
 
 from repro.memory.hierarchy import HierarchyConfig
 from repro.trace.annotate import AnnotationConfig, annotate, manual_annotation

@@ -39,9 +39,9 @@ class TestLineChart:
 
     def test_fixed_width(self):
         text = line_chart([1, 2, 3], {"s": [1, 2, 3]}, width=30, height=5)
-        plot_lines = [l for l in text.splitlines() if "|" in l]
+        plot_lines = [ln for ln in text.splitlines() if "|" in ln]
         assert len(plot_lines) == 5
-        assert all(len(l) == len(plot_lines[0]) for l in plot_lines)
+        assert all(len(ln) == len(plot_lines[0]) for ln in plot_lines)
 
 
 class TestBarChart:
@@ -55,7 +55,7 @@ class TestBarChart:
 
     def test_bars_scale_to_peak(self):
         text = bar_chart([("g", [("half", 1.0), ("full", 2.0)])], width=20)
-        lines = [l for l in text.splitlines() if "|" in l]
+        lines = [ln for ln in text.splitlines() if "|" in ln]
         full = lines[1].count("#")
         half = lines[0].count("#")
         assert full >= 19  # the peak fills the row (within rounding)
@@ -63,7 +63,7 @@ class TestBarChart:
 
     def test_zero_value_has_no_bar(self):
         text = bar_chart([("g", [("zero", 0.0), ("one", 1.0)])])
-        zero_line = next(l for l in text.splitlines() if "zero" in l)
+        zero_line = next(ln for ln in text.splitlines() if "zero" in ln)
         assert "#" not in zero_line
 
     def test_empty_rejected(self):

@@ -2,8 +2,6 @@
 and Section 3.2.4: finite MSHRs, finite store buffers / store MLP, and
 the slow unresolvable-branch predictor."""
 
-import dataclasses
-
 import pytest
 
 from repro.core.config import MachineConfig

@@ -1,0 +1,28 @@
+"""The merged tree is reprolint-clean: every invariant holds right now.
+
+This is the enforcement tier: ``repro lint`` runs all six passes over
+the real repository and must report nothing.  A failure here means a
+commit introduced a bare stdlib raise, a non-atomic result write, a
+nondeterminism hazard in engine code, an edit to the frozen oracle, a
+misspelled config field in an experiment, or a stale exhibit registry
+— with the exact file, line and message in the assertion output.
+"""
+
+import pathlib
+
+from repro.cli import main
+from repro.lint import Severity, run_lint
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_repository_is_lint_clean():
+    findings = run_lint(REPO_ROOT)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    report = "\n".join(f.format() for f in errors)
+    assert errors == [], f"reprolint found violations:\n{report}"
+
+
+def test_cli_exits_zero_on_repository(capsys):
+    assert main(["lint", "--root", str(REPO_ROOT)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
