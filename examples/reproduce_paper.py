@@ -15,6 +15,7 @@ import sys
 import time
 
 from repro.experiments import EXHIBITS, run_exhibit
+from repro.robustness.atomic import atomic_write_text
 
 
 def main(argv=None):
@@ -45,16 +46,20 @@ def main(argv=None):
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
 
-    total = time.time()
+    # Timing lines are progress reporting, not results: the archived
+    # exhibit text itself stays a pure function of (trace, seed, config).
+    total = time.time()  # reprolint: disable=determinism
     for name in args.exhibits:
-        started = time.time()
+        started = time.time()  # reprolint: disable=determinism
         exhibit = run_exhibit(name)
         text = exhibit.format()
         print(text)
-        print(f"[{name} took {time.time() - started:.1f}s]\n")
+        elapsed = time.time() - started  # reprolint: disable=determinism
+        print(f"[{name} took {elapsed:.1f}s]\n")
         if args.out:
-            (args.out / f"{name}.txt").write_text(text + "\n")
-    print(f"reproduced {len(args.exhibits)} exhibits in {time.time() - total:.0f}s")
+            atomic_write_text(args.out / f"{name}.txt", text + "\n")
+    wall = time.time() - total  # reprolint: disable=determinism
+    print(f"reproduced {len(args.exhibits)} exhibits in {wall:.0f}s")
 
 
 if __name__ == "__main__":

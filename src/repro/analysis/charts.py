@@ -52,7 +52,7 @@ def line_chart(x_labels, series, height=12, width=64, title=None,
         _scale(i, 0, max(1, len(x_labels) - 1), width)
         for i in range(len(x_labels))
     ]
-    for mark, (name, ys) in zip(_SERIES_MARKS, series.items()):
+    for mark, (_name, ys) in zip(_SERIES_MARKS, series.items()):
         previous = None
         for i, y in enumerate(ys):
             if y is None:

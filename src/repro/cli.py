@@ -315,6 +315,15 @@ def cmd_lint(args):
     findings = run_lint(args.root, select=select)
     if args.format == "json":
         print(json.dumps([f.to_dict() for f in findings], indent=2))
+    elif args.format == "github":
+        # GitHub Actions workflow-command annotations: each finding
+        # becomes an inline ::error/::warning marker on the PR diff.
+        for finding in findings:
+            kind = "error" if finding.severity is Severity.ERROR else "warning"
+            print(
+                f"::{kind} file={finding.path},line={finding.line}"
+                f"::[{finding.pass_id}] {finding.message}"
+            )
     else:
         for finding in findings:
             print(finding.format())
@@ -432,8 +441,10 @@ def build_parser():
     p = sub.add_parser("lint", help="statically check repository invariants")
     p.add_argument("--root", default=".",
                    help="project root (the directory containing src/repro)")
-    p.add_argument("--format", choices=["text", "json"], default="text",
-                   help="output format (default text)")
+    p.add_argument("--format", choices=["text", "json", "github"],
+                   default="text",
+                   help="output format (github emits workflow-command"
+                   " annotations for CI; default text)")
     p.add_argument("--select", action="append", metavar="PASS[,PASS...]",
                    help="run only these passes (repeatable or"
                    " comma-separated; see --list)")

@@ -54,7 +54,7 @@ def run(trace_len=None, max_runahead=2048):
         outcomes = np.asarray(annotated.vp_outcome[start:stop])
         lookups = int(np.count_nonzero(outcomes >= 0))
         mix = []
-        for label, code in _VP_CODES.items():
+        for _label, code in _VP_CODES.items():
             count = int(np.count_nonzero(outcomes == code))
             mix.append(count / lookups if lookups else 0.0)
         table6_rows.append([DISPLAY_NAMES[name]] + mix)

@@ -38,3 +38,21 @@ def str_constant(node):
     if isinstance(node, ast.Constant) and isinstance(node.value, str):
         return node.value
     return None
+
+
+def open_write_mode(call):
+    """The write mode string of an ``open()``-style call, or ``None``.
+
+    Understands both the positional form (``open(path, "w")``,
+    ``os.fdopen(fd, "wb")``) and an explicit ``mode=`` keyword; a mode
+    counts as writing when it contains any of ``w``/``a``/``x``/``+``.
+    """
+    mode = None
+    if len(call.args) >= 2:
+        mode = str_constant(call.args[1])
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = str_constant(kw.value)
+    if mode is not None and any(ch in mode for ch in "wax+"):
+        return mode
+    return None

@@ -1,0 +1,39 @@
+"""Dataflow machinery for reprolint's semantic passes.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.lint.flow.cfg` — intraprocedural control-flow graphs
+  over the ``ast`` (branches, loops with ``else``, ``try``/``except``/
+  ``finally``, ``with``, early exits, exception edges);
+* :mod:`repro.lint.flow.dataflow` — a worklist fixpoint solver with
+  two instantiations: reaching definitions and a powerset taint
+  lattice;
+* :mod:`repro.lint.flow.summaries` — a module-level call graph with
+  per-function return-taint and external-mutation summaries, lifting
+  the intraprocedural results across helper calls.
+
+See ``docs/STATIC_ANALYSIS.md`` for the architecture and a guide to
+writing a dataflow pass.
+"""
+
+from repro.lint.flow.cfg import CFG, build_cfg
+from repro.lint.flow.dataflow import (
+    TaintAnalysis,
+    bindings,
+    own_expressions,
+    reaching_definitions,
+    solve_forward,
+)
+from repro.lint.flow.summaries import ModuleSummaries, Mutation
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "TaintAnalysis",
+    "bindings",
+    "own_expressions",
+    "reaching_definitions",
+    "solve_forward",
+    "ModuleSummaries",
+    "Mutation",
+]

@@ -1,0 +1,476 @@
+"""Intraprocedural control-flow graphs over the Python AST.
+
+:func:`build_cfg` turns one scope — a function body or a module's
+top-level statements — into a statement-level :class:`CFG`: one node
+per statement (plus synthetic ``entry``/``exit`` nodes) and a directed
+edge for every way control can move between them.  The construction
+covers the control constructs the dataflow passes need to reason
+about:
+
+* ``if``/``elif``/``else`` chains (the header node branches to each
+  arm and, absent an ``else``, falls through);
+* ``while`` and ``for`` loops including their ``else`` clauses —
+  ``break`` jumps past the ``else``, a constant-true ``while`` test
+  has no fall-out edge, so code after ``while True:`` without a
+  ``break`` is correctly unreachable;
+* ``try``/``except``/``else``/``finally``: every statement inside a
+  ``try`` body gets an *exception edge* to each handler (and to the
+  ``finally`` block, covering exceptions no handler matches), handler
+  bodies route their own exceptions onward, and ``return``/``break``/
+  ``continue`` inside a ``try`` with a ``finally`` are routed through
+  the ``finally`` block first;
+* ``with`` blocks, including context managers known to swallow
+  exceptions (``contextlib.suppress``), whose body statements get an
+  edge directly to whatever follows the block;
+* early ``return``/``raise`` (no fall-through; ``raise`` targets the
+  innermost handler region or ``exit``), ``assert`` (falls through,
+  with an exception edge when inside a handler region);
+* comprehensions and generator expressions — evaluated atomically as
+  part of their enclosing statement's node, never split.
+
+The graph is deliberately *conflated* in one place: a ``finally``
+block appears once, shared by the normal path, the exceptional path
+and any ``return``/``break`` routed through it.  That keeps the graph
+linear in the source size; the analyses built on top (reachability,
+reaching definitions, taint, resource paths) are all conservative
+over-approximations, for which extra path sharing only ever adds
+behaviours, never hides one.
+"""
+
+import ast
+
+from repro.lint.astutil import call_name
+
+#: Context-manager callees that swallow exceptions raised in their body.
+#: ``pytest.raises``/``warns`` swallow the exception they assert on —
+#: control resumes after the block, which is the whole point of them.
+_SWALLOWING_CMS = frozenset({
+    "contextlib.suppress", "suppress",
+    "pytest.raises", "raises",
+    "pytest.warns", "warns",
+})
+
+#: Statement kinds rendered with a nicer label than the AST class name.
+_KIND_NAMES = {
+    "asyncfunctiondef": "functiondef",
+    "asyncfor": "for",
+    "asyncwith": "with",
+    "trystar": "try",
+}
+
+
+class CFG:
+    """A control-flow graph for one function or module scope.
+
+    Nodes are integers.  ``nodes[i]`` is the AST statement the node
+    wraps (``None`` for ``entry``/``exit``), ``kinds[i]`` a short
+    lower-case label (``"assign"``, ``"if"``, ``"except"``, ...),
+    ``succ[i]``/``pred[i]`` the adjacency sets.  ``blocks`` records
+    every statement list that was visited as ``(parent_node, [top
+    node of each statement])`` — the unreachable-code pass uses it to
+    report only the head of each dead region.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.nodes = []
+        self.kinds = []
+        self.succ = []
+        self.pred = []
+        self.blocks = []
+        self.entry = self.add_node("entry", None)
+        self.exit = self.add_node("exit", None)
+
+    def add_node(self, kind, stmt):
+        """Append a node; returns its index."""
+        self.nodes.append(stmt)
+        self.kinds.append(kind)
+        self.succ.append(set())
+        self.pred.append(set())
+        return len(self.nodes) - 1
+
+    def add_edge(self, src, dst):
+        """Add a directed edge from node *src* to node *dst*."""
+        self.succ[src].add(dst)
+        self.pred[dst].add(src)
+
+    def label(self, index):
+        """Human-readable node label: ``kind:lineno`` (or bare kind)."""
+        stmt = self.nodes[index]
+        if stmt is None:
+            return self.kinds[index]
+        return f"{self.kinds[index]}:{stmt.lineno}"
+
+    def edges(self):
+        """Sorted ``(src_label, dst_label)`` pairs — golden-test food."""
+        pairs = []
+        for src, targets in enumerate(self.succ):
+            for dst in targets:
+                pairs.append((self.label(src), self.label(dst)))
+        return sorted(pairs)
+
+    def reachable(self):
+        """The set of node indices reachable from ``entry``."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for nxt in self.succ[stack.pop()]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def statement_nodes(self):
+        """Indices of real statement nodes (skips entry/exit)."""
+        return [i for i, stmt in enumerate(self.nodes) if stmt is not None]
+
+
+class _Loop:
+    """Book-keeping for one enclosing loop during construction."""
+
+    __slots__ = ("head", "breaks", "finally_depth")
+
+    def __init__(self, head, finally_depth):
+        self.head = head
+        self.breaks = set()
+        self.finally_depth = finally_depth
+
+
+class _Region:
+    """An exception-handling region: where raises inside it land.
+
+    ``targets`` holds handler / ``finally`` entry nodes; a *swallow*
+    region (``with contextlib.suppress(...)``) instead collects the
+    raising nodes so they can be wired to whatever follows the block.
+    """
+
+    __slots__ = ("targets", "swallow")
+
+    def __init__(self, targets=(), swallow=None):
+        self.targets = list(targets)
+        self.swallow = swallow
+
+
+class _Finally:
+    """One active ``finally`` block: its entry node and exit frontier."""
+
+    __slots__ = ("entry", "frontier")
+
+    def __init__(self, entry, frontier):
+        self.entry = entry
+        self.frontier = frontier
+
+
+def _is_constant_true(test):
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _swallows_exceptions(with_stmt):
+    for item in with_stmt.items:
+        name = call_name(item.context_expr)
+        if name in _SWALLOWING_CMS:
+            return True
+    return False
+
+
+class _Builder:
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.loops = []
+        self.regions = []
+        self.finallies = []
+
+    # -- plumbing ------------------------------------------------------
+
+    def connect(self, preds, node):
+        for pred in preds:
+            self.cfg.add_edge(pred, node)
+
+    def stmt_node(self, stmt, kind=None):
+        """Create a node for *stmt*, wiring its implicit exception edge."""
+        if kind is None:
+            kind = type(stmt).__name__.lower()
+            kind = _KIND_NAMES.get(kind, kind)
+        index = self.cfg.add_node(kind, stmt)
+        if self.regions:
+            region = self.regions[-1]
+            if region.swallow is not None:
+                region.swallow.add(index)
+            else:
+                for target in region.targets:
+                    self.cfg.add_edge(index, target)
+        return index
+
+    # -- statement lists -----------------------------------------------
+
+    def visit_block(self, stmts, preds, parent):
+        """Visit a statement list; returns the fall-through frontier."""
+        tops = []
+        self.cfg.blocks.append((parent, tops))
+        frontier = set(preds)
+        for stmt in stmts:
+            top, frontier = self.visit_stmt(stmt, frontier)
+            tops.append(top)
+        return frontier
+
+    def visit_stmt(self, stmt, preds):
+        if isinstance(stmt, ast.If):
+            return self.visit_if(stmt, preds)
+        if isinstance(stmt, ast.While):
+            return self.visit_while(stmt, preds)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self.visit_for(stmt, preds)
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self.visit_try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.visit_with(stmt, preds)
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self.visit_match(stmt, preds)
+        if isinstance(stmt, ast.Return):
+            return self.visit_return(stmt, preds)
+        if isinstance(stmt, ast.Raise):
+            return self.visit_raise(stmt, preds)
+        if isinstance(stmt, ast.Break):
+            return self.visit_break(stmt, preds)
+        if isinstance(stmt, ast.Continue):
+            return self.visit_continue(stmt, preds)
+        # Simple statements — including function/class definitions,
+        # whose bodies are separate scopes with their own CFGs.
+        node = self.stmt_node(stmt)
+        self.connect(preds, node)
+        return node, {node}
+
+    # -- branching -----------------------------------------------------
+
+    def visit_if(self, stmt, preds):
+        node = self.stmt_node(stmt)
+        self.connect(preds, node)
+        then_frontier = self.visit_block(stmt.body, {node}, node)
+        if stmt.orelse:
+            else_frontier = self.visit_block(stmt.orelse, {node}, node)
+        else:
+            else_frontier = {node}
+        return node, then_frontier | else_frontier
+
+    def visit_match(self, stmt, preds):  # pragma: no cover (py3.10+)
+        node = self.stmt_node(stmt, "match")
+        self.connect(preds, node)
+        frontier = {node}
+        for case in stmt.cases:
+            frontier |= self.visit_block(case.body, {node}, node)
+        return node, frontier
+
+    # -- loops ---------------------------------------------------------
+
+    def visit_while(self, stmt, preds):
+        head = self.stmt_node(stmt)
+        self.connect(preds, head)
+        loop = _Loop(head, len(self.finallies))
+        self.loops.append(loop)
+        body_frontier = self.visit_block(stmt.body, {head}, head)
+        self.connect(body_frontier, head)
+        self.loops.pop()
+        # The test-is-false exit; a constant-true test never falls out.
+        exits = set() if _is_constant_true(stmt.test) else {head}
+        if stmt.orelse:
+            # The else clause runs when the loop condition fails —
+            # break jumps past it, straight to the loop frontier.
+            exits = self.visit_block(stmt.orelse, exits, head)
+        return head, exits | loop.breaks
+
+    def visit_for(self, stmt, preds):
+        head = self.stmt_node(stmt)
+        self.connect(preds, head)
+        loop = _Loop(head, len(self.finallies))
+        self.loops.append(loop)
+        body_frontier = self.visit_block(stmt.body, {head}, head)
+        self.connect(body_frontier, head)
+        self.loops.pop()
+        exits = {head}
+        if stmt.orelse:
+            exits = self.visit_block(stmt.orelse, exits, head)
+        return head, exits | loop.breaks
+
+    def visit_break(self, stmt, preds):
+        node = self.stmt_node(stmt)
+        self.connect(preds, node)
+        if self.loops:
+            loop = self.loops[-1]
+            if len(self.finallies) > loop.finally_depth:
+                # break inside try/finally runs the finally first; the
+                # outermost in-loop finally then reaches the loop exit.
+                self.cfg.add_edge(node, self.finallies[-1].entry)
+                loop.breaks |= self.finallies[loop.finally_depth].frontier
+            else:
+                loop.breaks.add(node)
+        return node, set()
+
+    def visit_continue(self, stmt, preds):
+        node = self.stmt_node(stmt)
+        self.connect(preds, node)
+        if self.loops:
+            loop = self.loops[-1]
+            if len(self.finallies) > loop.finally_depth:
+                self.cfg.add_edge(node, self.finallies[-1].entry)
+                self.connect(
+                    self.finallies[loop.finally_depth].frontier, loop.head
+                )
+            else:
+                self.cfg.add_edge(node, loop.head)
+        return node, set()
+
+    # -- scope exits ---------------------------------------------------
+
+    def visit_return(self, stmt, preds):
+        node = self.stmt_node(stmt)
+        self.connect(preds, node)
+        if self.finallies:
+            self.cfg.add_edge(node, self.finallies[-1].entry)
+        else:
+            self.cfg.add_edge(node, self.cfg.exit)
+        return node, set()
+
+    def visit_raise(self, stmt, preds):
+        node = self.stmt_node(stmt)
+        self.connect(preds, node)
+        if not self.regions:
+            # stmt_node wires region targets; outside any region the
+            # exception propagates out of the scope.
+            self.cfg.add_edge(node, self.cfg.exit)
+        return node, set()
+
+    # -- exception handling --------------------------------------------
+
+    def visit_try(self, stmt, preds):
+        node = self.stmt_node(stmt, "try")
+        self.connect(preds, node)
+
+        fin = None
+        if stmt.finalbody:
+            # Visit the finally body first (with the *outer* region
+            # context — its own exceptions propagate outward) so its
+            # entry node exists before body raises need to target it.
+            fin_entry = len(self.cfg.nodes)
+            fin_frontier = self.visit_block(stmt.finalbody, set(), node)
+            fin = _Finally(fin_entry, fin_frontier)
+
+        handler_nodes = [
+            self.cfg.add_node("except", handler)
+            for handler in stmt.handlers
+        ]
+
+        body_targets = list(handler_nodes)
+        if fin is not None:
+            # Exceptions no handler matches still run the finally.
+            body_targets.append(fin.entry)
+        if fin is not None:
+            self.finallies.append(fin)
+        if body_targets:
+            self.regions.append(_Region(body_targets))
+            body_frontier = self.visit_block(stmt.body, {node}, node)
+            self.regions.pop()
+        else:
+            body_frontier = self.visit_block(stmt.body, {node}, node)
+        if stmt.orelse:
+            body_frontier = self.visit_block(
+                stmt.orelse, body_frontier, node
+            )
+
+        handler_frontier = set()
+        for handler, handler_node in zip(stmt.handlers, handler_nodes):
+            if fin is not None:
+                self.regions.append(_Region([fin.entry]))
+            handler_frontier |= self.visit_block(
+                handler.body, {handler_node}, handler_node
+            )
+            if fin is not None:
+                self.regions.pop()
+        if fin is not None:
+            self.finallies.pop()
+
+        normal_exits = body_frontier | handler_frontier
+        if fin is None:
+            return node, normal_exits
+        self.connect(normal_exits, fin.entry)
+        # After an exceptional (or return-routed) pass through the
+        # finally, control leaves the region: to the enclosing
+        # handlers, and — for propagating exceptions and returns —
+        # out of the scope entirely.
+        for target in self.exceptional_continuations():
+            self.connect(fin.frontier, target)
+        return node, set(fin.frontier)
+
+    def exceptional_continuations(self):
+        targets = {self.cfg.exit}
+        if self.regions:
+            region = self.regions[-1]
+            if region.swallow is None:
+                targets.update(region.targets)
+        return targets
+
+    # -- with blocks ---------------------------------------------------
+
+    def visit_with(self, stmt, preds):
+        node = self.stmt_node(stmt, "with")
+        self.connect(preds, node)
+        if _swallows_exceptions(stmt):
+            region = _Region(swallow=set())
+            self.regions.append(region)
+            body_frontier = self.visit_block(stmt.body, {node}, node)
+            self.regions.pop()
+            # Swallowed exceptions resume right after the with block.
+            return node, body_frontier | region.swallow
+        body_frontier = self.visit_block(stmt.body, {node}, node)
+        return node, body_frontier
+
+
+def iter_scopes(tree):
+    """Yield ``(qualified_name, scope)`` for a module and its functions.
+
+    The module itself comes first (as the ``Module`` node), then every
+    function and method at any nesting depth, named like
+    ``Class.method`` / ``outer.<locals>.inner`` for readability.
+    """
+    yield "<module>", tree
+
+    def walk(body, prefix):
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = prefix + stmt.name
+                yield name, stmt
+                yield from walk(stmt.body, name + ".<locals>.")
+            elif isinstance(stmt, ast.ClassDef):
+                yield from walk(stmt.body, prefix + stmt.name + ".")
+            else:
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.stmt):
+                        yield from walk([child], prefix)
+                    elif isinstance(child, ast.ExceptHandler):
+                        yield from walk(child.body, prefix)
+
+    yield from walk(tree.body, "")
+
+
+def build_cfg(scope, name=None):
+    """Build the :class:`CFG` of *scope*.
+
+    *scope* is a ``FunctionDef`` / ``AsyncFunctionDef`` (the CFG of its
+    body — nested definitions are single nodes, their bodies belong to
+    their own CFGs), a ``Module``, or a plain list of statements.
+    """
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        stmts = scope.body
+        name = name or scope.name
+    elif isinstance(scope, ast.Module):
+        stmts = scope.body
+        name = name or "<module>"
+    else:
+        stmts = list(scope)
+        name = name or "<block>"
+    cfg = CFG(name)
+    builder = _Builder(cfg)
+    frontier = builder.visit_block(stmts, {cfg.entry}, None)
+    builder.connect(frontier, cfg.exit)
+    return cfg

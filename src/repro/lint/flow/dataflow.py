@@ -1,0 +1,289 @@
+"""Worklist dataflow solving over :class:`~repro.lint.flow.cfg.CFG`.
+
+Two classic forward analyses, both instances of one fixpoint engine:
+
+* **Reaching definitions** (:func:`reaching_definitions`) — for every
+  node, which ``(name, line)`` definitions may reach it.
+* **Taint** (:class:`TaintAnalysis`) — a small powerset lattice: each
+  variable maps to the set of *taint labels* (e.g. ``"wall-clock"``)
+  its value may carry.  Labels enter at *source* calls (classified by
+  a caller-supplied function), flow through assignments, arithmetic,
+  f-strings, tuple unpacking, loop targets and local helper calls
+  (via :class:`~repro.lint.flow.summaries.ModuleSummaries`), and are
+  read off at any program point by the passes.
+
+The lattice in both cases is a map ``name -> frozenset`` ordered by
+pointwise ``⊆`` with pointwise union as join; the transfer functions
+are monotone and the label sets finite, so the worklist iteration
+terminates at the least fixpoint.
+
+States are plain dicts (name to frozenset); a missing key means
+bottom (empty set).  Transfer functions only ever *evaluate the
+expressions a statement itself executes* — an ``if`` node reads its
+test, not its body, because the body statements are separate CFG
+nodes.
+"""
+
+import ast
+import collections
+
+from repro.lint.astutil import call_name
+
+_EMPTY = frozenset()
+
+
+# ----------------------------------------------------------------------
+# The statements' own expressions and bindings
+# ----------------------------------------------------------------------
+
+def own_expressions(stmt):
+    """The expressions *stmt* itself evaluates (not nested statements).
+
+    For compound statements this is the header expression only: the
+    ``if``/``while`` test, the ``for`` iterable, the ``with`` context
+    expressions.  For simple statements it is the whole statement's
+    expression payload.
+    """
+    if stmt is None:
+        return []
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Assign):
+        return [stmt.value]
+    if isinstance(stmt, ast.AugAssign):
+        return [stmt.value]
+    if isinstance(stmt, ast.AnnAssign):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Expr):
+        return [stmt.value]
+    if isinstance(stmt, ast.Raise):
+        return [e for e in (stmt.exc, stmt.cause) if e is not None]
+    if isinstance(stmt, ast.Assert):
+        return [e for e in (stmt.test, stmt.msg) if e is not None]
+    if isinstance(stmt, ast.Delete):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        # Decorators and default values evaluate at definition time.
+        defaults = list(stmt.args.defaults)
+        defaults += [d for d in stmt.args.kw_defaults if d is not None]
+        return list(stmt.decorator_list) + defaults
+    if isinstance(stmt, ast.ClassDef):
+        return list(stmt.decorator_list) + list(stmt.bases)
+    if isinstance(stmt, ast.Try):
+        return []
+    return []
+
+
+def target_names(target):
+    """All plain names bound by an assignment target (tuples unpacked)."""
+    names = []
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.append(node.id)
+    return names
+
+
+def bindings(stmt):
+    """``(names, value_expr, augmented)`` bindings *stmt* performs.
+
+    *value_expr* is the expression whose value flows into *names*
+    (``None`` when nothing meaningful flows, e.g. an ``except ... as
+    e`` binding); *augmented* marks ``x += ...``-style updates that
+    merge with the old value instead of replacing it.
+    """
+    out = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            out.append((target_names(target), stmt.value, False))
+    elif isinstance(stmt, ast.AugAssign):
+        out.append((target_names(stmt.target), stmt.value, True))
+    elif isinstance(stmt, ast.AnnAssign):
+        if stmt.value is not None:
+            out.append((target_names(stmt.target), stmt.value, False))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        out.append((target_names(stmt.target), stmt.iter, False))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                out.append((
+                    target_names(item.optional_vars),
+                    item.context_expr,
+                    False,
+                ))
+    elif isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            out.append(([stmt.name], None, False))
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                           ast.ClassDef)):
+        out.append(([stmt.name], None, False))
+    elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        for alias in stmt.names:
+            name = alias.asname or alias.name.split(".")[0]
+            out.append(([name], None, False))
+    # Walrus bindings inside the statement's own expressions.
+    for expr in own_expressions(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.NamedExpr):
+                out.append((target_names(node.target), node.value, False))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The fixpoint engine
+# ----------------------------------------------------------------------
+
+def join(states):
+    """Pointwise union of variable-to-frozenset states."""
+    merged = {}
+    for state in states:
+        for name, values in state.items():
+            if name in merged:
+                merged[name] = merged[name] | values
+            else:
+                merged[name] = values
+    return merged
+
+
+def solve_forward(cfg, transfer, entry_state=None):
+    """Iterate *transfer* to the least fixpoint; returns in-states.
+
+    *transfer(node_index, in_state) -> out_state* must be monotone.
+    The returned list maps each node index to the joined state holding
+    *on entry* to that node.
+    """
+    num = len(cfg.nodes)
+    in_states = [{} for _ in range(num)]
+    out_states = [{} for _ in range(num)]
+    in_states[cfg.entry] = dict(entry_state or {})
+    out_states[cfg.entry] = dict(entry_state or {})
+    worklist = collections.deque(range(num))
+    queued = [True] * num
+    while worklist:
+        node = worklist.popleft()
+        queued[node] = False
+        if node != cfg.entry:
+            in_states[node] = join(
+                out_states[pred] for pred in cfg.pred[node]
+            )
+        out = transfer(node, in_states[node])
+        if out != out_states[node]:
+            out_states[node] = out
+            for succ in cfg.succ[node]:
+                if not queued[succ]:
+                    queued[succ] = True
+                    worklist.append(succ)
+    return in_states
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions
+# ----------------------------------------------------------------------
+
+def reaching_definitions(cfg):
+    """Reaching definitions: per node, ``{name: frozenset(def lines)}``.
+
+    A definition is any binding (assignment, loop target, ``with ...
+    as``, import, ``def``) recorded at the line of its statement;
+    ordinary bindings kill prior definitions of the same name,
+    augmented assignments accumulate.
+    """
+    def transfer(node, state):
+        stmt = cfg.nodes[node]
+        if stmt is None:
+            return dict(state)
+        bound = bindings(stmt)
+        if not bound:
+            return dict(state)
+        out = dict(state)
+        for names, _value, augmented in bound:
+            for name in names:
+                definition = frozenset({stmt.lineno})
+                if augmented:
+                    out[name] = out.get(name, _EMPTY) | definition
+                else:
+                    out[name] = definition
+        return out
+
+    return solve_forward(cfg, transfer)
+
+
+# ----------------------------------------------------------------------
+# Taint
+# ----------------------------------------------------------------------
+
+class TaintAnalysis:
+    """Propagate taint labels through one CFG.
+
+    Parameters
+    ----------
+    sources:
+        ``callable(dotted_name) -> iterable of labels`` classifying a
+        callee as a taint source (e.g. ``time.time`` ->
+        ``{"wall-clock"}``).  Called for every ``Call`` seen.
+    summaries:
+        Optional :class:`~repro.lint.flow.summaries.ModuleSummaries`;
+        calls to module-local helpers inherit the helper's
+        return-taint summary, so taint crosses helper-function
+        boundaries.
+    """
+
+    def __init__(self, sources, summaries=None):
+        self.sources = sources
+        self.summaries = summaries
+
+    def taint_of(self, expr, state):
+        """The taint label set of *expr* under variable *state*.
+
+        Conservative: the union over every name read and every call
+        made anywhere in the expression — a value derived from a
+        tainted input (arithmetic, formatting, indexing, a helper
+        call) is itself tainted.
+        """
+        labels = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                labels |= state.get(node.id, _EMPTY)
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name is None:
+                    continue
+                labels.update(self.sources(name))
+                if self.summaries is not None:
+                    labels |= self.summaries.returns_taint(name, self)
+        return frozenset(labels)
+
+    def transfer(self, cfg):
+        """The transfer function for *cfg*, for :func:`solve_forward`."""
+        def run(node, state):
+            stmt = cfg.nodes[node]
+            if stmt is None:
+                return dict(state)
+            bound = bindings(stmt)
+            if not bound:
+                return dict(state)
+            out = dict(state)
+            for names, value, augmented in bound:
+                taint = (
+                    self.taint_of(value, state)
+                    if value is not None else _EMPTY
+                )
+                for name in names:
+                    if augmented:
+                        out[name] = out.get(name, _EMPTY) | taint
+                    else:
+                        out[name] = taint
+            return out
+
+        return run
+
+    def solve(self, cfg, entry_state=None):
+        """In-state taint environments for every node of *cfg*."""
+        return solve_forward(cfg, self.transfer(cfg), entry_state)

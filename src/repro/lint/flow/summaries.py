@@ -1,0 +1,343 @@
+"""Module-level call graph and per-function summaries.
+
+The CFG and dataflow solver are intraprocedural; this layer lifts
+their results across function boundaries *within one module* — which
+is exactly the scope that matters for the flow passes: sweep workers
+and their helpers live in one module, and seed plumbing rarely crosses
+modules without going through an explicit config object.
+
+Two summaries are computed on demand and cached:
+
+* **Return taint** — the taint labels a function's return value may
+  carry, so ``seed = fresh_seed()`` taints ``seed`` when
+  ``fresh_seed`` reads the wall clock.  Computed by running the taint
+  analysis over the helper's own CFG, iterated to a fixpoint so
+  helper-calls-helper chains (and cycles) converge.
+* **External mutations** — the stores a function performs outside its
+  own local scope: module globals (``global x`` or ``STATE[...] =``),
+  class attributes of module-level classes, and closed-over variables
+  of an enclosing function.  The sweep-race pass combines these with
+  the call graph to check everything a submitted worker *transitively*
+  mutates.
+
+Scope resolution is a deliberate simplification of Python's rules:
+a function's locals are its parameters plus every name it binds
+(minus ``global``/``nonlocal`` declarations); anything bound by an
+enclosing function is a closure name; anything bound at module level
+is a global.  Class bodies nested in functions are treated as part of
+the function's scope, and attribute stores on ``self``/parameters are
+*not* external (mutating an argument stays within the task).
+"""
+
+import ast
+
+from repro.lint.flow.cfg import build_cfg
+from repro.lint.flow.dataflow import bindings, own_expressions, target_names
+
+_EMPTY = frozenset()
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "clear", "remove", "discard", "appendleft",
+    "extendleft", "sort", "reverse",
+})
+
+
+class Mutation:
+    """One store a function performs outside its local scope."""
+
+    __slots__ = ("kind", "name", "lineno", "func")
+
+    def __init__(self, kind, name, lineno, func):
+        self.kind = kind      # "global" | "closure" | "class-attr"
+        self.name = name      # the shared name being stored to
+        self.lineno = lineno
+        self.func = func      # name of the function doing the store
+
+    def describe(self):
+        """Human-readable description of the mutated target."""
+        what = {
+            "global": f"module global {self.name!r}",
+            "closure": f"closed-over variable {self.name!r}",
+            "class-attr": f"class attribute of {self.name!r}",
+        }[self.kind]
+        return what
+
+
+class _FunctionInfo:
+    __slots__ = ("node", "locals", "enclosing", "globals", "nonlocals")
+
+    def __init__(self, node, local_names, enclosing, global_decls,
+                 nonlocal_decls):
+        self.node = node
+        self.locals = local_names
+        self.enclosing = enclosing
+        self.globals = global_decls
+        self.nonlocals = nonlocal_decls
+
+
+def _attribute_root(node):
+    """The root ``Name`` of an attribute/subscript chain, or ``None``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _own_statements(body):
+    """Statements of a scope, not descending into nested functions."""
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # separate scope — summarised on its own
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(child, ast.ExceptHandler):
+                yield child
+                stack.extend(child.body)
+
+
+def _argument_names(args):
+    names = [a.arg for a in args.posonlyargs] if hasattr(
+        args, "posonlyargs") else []
+    names += [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+class ModuleSummaries:
+    """Call graph plus lazily computed summaries for one module."""
+
+    def __init__(self, tree):
+        self.tree = tree
+        self.functions = {}        # name -> _FunctionInfo
+        self.module_names = set()  # names bound at module level
+        self.module_classes = set()
+        self._cfgs = {}
+        self._returns = {}
+        self._mutations = {}
+        self._calls = {}
+        self._collect_module()
+
+    # -- collection ----------------------------------------------------
+
+    def _collect_module(self):
+        for stmt in _own_statements(self.tree.body):
+            for names, _value, _aug in bindings(stmt):
+                self.module_names.update(names)
+            if isinstance(stmt, ast.ClassDef):
+                self.module_classes.add(stmt.name)
+        for stmt in self.tree.body:
+            self._collect_scope(stmt, frozenset())
+
+    def _collect_scope(self, stmt, enclosing):
+        if isinstance(stmt, ast.ClassDef):
+            # Methods close over nothing extra at class level.
+            for sub in stmt.body:
+                self._collect_scope(sub, enclosing)
+            return
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, (ast.stmt, ast.ExceptHandler)):
+                    self._collect_scope(child, enclosing)
+            return
+        func = stmt
+        local_names = set(_argument_names(func.args))
+        global_decls = set()
+        nonlocal_decls = set()
+        for sub in _own_statements(func.body):
+            if isinstance(sub, ast.Global):
+                global_decls.update(sub.names)
+            elif isinstance(sub, ast.Nonlocal):
+                nonlocal_decls.update(sub.names)
+            else:
+                for names, _value, _aug in bindings(sub):
+                    local_names.update(names)
+                for expr_node in ast.walk(sub):
+                    if isinstance(expr_node, ast.NamedExpr):
+                        local_names.update(
+                            target_names(expr_node.target)
+                        )
+        local_names -= global_decls
+        local_names -= nonlocal_decls
+        info = _FunctionInfo(
+            func, frozenset(local_names), frozenset(enclosing),
+            frozenset(global_decls), frozenset(nonlocal_decls),
+        )
+        # Plain name for call-site resolution; later definitions of
+        # the same name shadow earlier ones, matching runtime lookup.
+        self.functions[func.name] = info
+        inner_enclosing = enclosing | local_names
+        for sub in func.body:
+            self._collect_scope(sub, inner_enclosing)
+
+    # -- call graph ----------------------------------------------------
+
+    def calls(self, func_name):
+        """Names of module-local functions *func_name* calls directly."""
+        if func_name in self._calls:
+            return self._calls[func_name]
+        info = self.functions.get(func_name)
+        called = set()
+        if info is not None:
+            for sub in _own_statements(info.node.body):
+                for expr in own_expressions(sub):
+                    for node in ast.walk(expr):
+                        if isinstance(node, ast.Call) and isinstance(
+                            node.func, ast.Name
+                        ) and node.func.id in self.functions:
+                            called.add(node.func.id)
+        self._calls[func_name] = called
+        return called
+
+    def transitive_closure(self, func_name):
+        """*func_name* plus everything it may call, as an ordered list."""
+        seen = [func_name]
+        index = 0
+        while index < len(seen):
+            for callee in sorted(self.calls(seen[index])):
+                if callee not in seen:
+                    seen.append(callee)
+            index += 1
+        return seen
+
+    def cfg_of(self, func_name):
+        """The (cached) CFG of the module-local function *func_name*."""
+        if func_name not in self._cfgs:
+            self._cfgs[func_name] = build_cfg(
+                self.functions[func_name].node
+            )
+        return self._cfgs[func_name]
+
+    # -- return-taint summaries ----------------------------------------
+
+    def returns_taint(self, dotted_name, analysis):
+        """Taint labels the return value of *dotted_name* may carry.
+
+        Only plain module-local function names resolve; dotted callees
+        (``np.random.default_rng``, ``self.helper``) return the empty
+        set — their taint, if any, comes from the source classifier.
+        """
+        if dotted_name not in self.functions:
+            return _EMPTY
+        if dotted_name in self._returns:
+            return self._returns[dotted_name]
+        # Seed the cache to cut recursion cycles, then iterate this
+        # function (and, through taint_of, its callees) to a fixpoint.
+        self._returns[dotted_name] = _EMPTY
+        while True:
+            computed = self._compute_returns(dotted_name, analysis)
+            if computed == self._returns[dotted_name]:
+                break
+            self._returns[dotted_name] = computed
+        return self._returns[dotted_name]
+
+    def _compute_returns(self, func_name, analysis):
+        cfg = self.cfg_of(func_name)
+        states = analysis.solve(cfg)
+        labels = set()
+        for index in cfg.statement_nodes():
+            stmt = cfg.nodes[index]
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                labels |= analysis.taint_of(stmt.value, states[index])
+        return frozenset(labels)
+
+    # -- mutation summaries --------------------------------------------
+
+    def direct_mutations(self, func_name):
+        """Stores *func_name* itself performs outside its local scope."""
+        if func_name in self._mutations:
+            return self._mutations[func_name]
+        info = self.functions.get(func_name)
+        found = []
+        if info is not None:
+            for stmt in _own_statements(info.node.body):
+                found.extend(self._scan_statement(stmt, info, func_name))
+        self._mutations[func_name] = found
+        return found
+
+    def _classify(self, root, info):
+        """Resolve *root* against the scope stack; ``None`` if local."""
+        if root is None or root in info.locals:
+            return None
+        if root in info.nonlocals or root in info.enclosing:
+            return "closure"
+        if root in self.module_classes:
+            return "class-attr"
+        if root in info.globals or root in self.module_names:
+            return "global"
+        return None  # builtin or unresolved import-time name
+
+    def _scan_statement(self, stmt, info, func_name):
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            for node in ast.walk(target):
+                if isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store
+                ):
+                    if node.id in info.globals:
+                        yield Mutation(
+                            "global", node.id, stmt.lineno, func_name
+                        )
+                    elif node.id in info.nonlocals:
+                        yield Mutation(
+                            "closure", node.id, stmt.lineno, func_name
+                        )
+                elif isinstance(node, (ast.Attribute, ast.Subscript)) \
+                        and isinstance(node.ctx, ast.Store):
+                    kind = self._classify(_attribute_root(node), info)
+                    if kind is not None:
+                        yield Mutation(
+                            kind, _attribute_root(node), stmt.lineno,
+                            func_name,
+                        )
+        # In-place mutator calls: SHARED.append(...), CACHE.update(...)
+        # Only the statement's own expressions are scanned — nested
+        # statements are visited on their own by _own_statements.
+        for expr in own_expressions(stmt):
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in MUTATOR_METHODS:
+                    continue
+                root = _attribute_root(func.value)
+                kind = self._classify(root, info)
+                if kind is not None:
+                    yield Mutation(kind, root, node.lineno, func_name)
+
+    def external_mutations(self, func_name):
+        """All external stores reachable from *func_name*.
+
+        Returns ``[(mutation, chain)]`` where *chain* is the call path
+        from *func_name* to the function performing the store (a
+        single-element chain means the store is direct).
+        """
+        results = []
+        parents = {func_name: None}
+        for name in self.transitive_closure(func_name):
+            for callee in self.calls(name):
+                parents.setdefault(callee, name)
+            for mutation in self.direct_mutations(name):
+                chain = []
+                cursor = name
+                while cursor is not None:
+                    chain.append(cursor)
+                    cursor = parents.get(cursor)
+                results.append((mutation, list(reversed(chain))))
+        return results

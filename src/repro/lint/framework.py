@@ -26,6 +26,17 @@ from repro.robustness.errors import ConfigError
 #: Where the linted source tree lives, relative to the project root.
 SOURCE_ROOT = "src/repro"
 
+#: All roots a lint run walks.  ``src/repro`` is the library; tests
+#: and examples ride along so their determinism/write/flow hygiene is
+#: enforced too (a test that seeds from the wall clock flakes just as
+#: hard as an engine that does).
+SOURCE_ROOTS = (SOURCE_ROOT, "tests", "examples")
+
+#: Subtrees never walked: the lint fixture miniatures *contain
+#: violations on purpose* — they are what the lint test suite runs
+#: the passes against.
+EXCLUDED_PREFIXES = ("tests/lint_fixtures/",)
+
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_\-, ]+)")
 
 
@@ -78,19 +89,31 @@ def _parse_suppressions(source):
 class Project:
     """The file set of one lint run, rooted at a repository checkout.
 
-    Walks ``<root>/src/repro/**/*.py`` eagerly so that project-level
-    passes can cross-reference modules.  Fixture trees in the test
-    suite use the same layout, which is what makes every pass testable
-    against a miniature repository.
+    Walks ``<root>/src/repro``, ``<root>/tests`` and
+    ``<root>/examples`` (``**/*.py``, minus the lint fixture
+    miniatures) eagerly so that project-level passes can
+    cross-reference modules.  Fixture trees in the test suite use the
+    same layout, which is what makes every pass testable against a
+    miniature repository.
     """
 
     def __init__(self, root):
         self.root = pathlib.Path(root)
         self.modules = []
-        source_root = self.root / SOURCE_ROOT
-        for path in sorted(source_root.rglob("*.py")):
-            relpath = path.relative_to(self.root).as_posix()
-            self.modules.append(ModuleInfo(relpath, path.read_text()))
+        relpaths = set()
+        for source_root in SOURCE_ROOTS:
+            base = self.root / source_root
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                relpath = path.relative_to(self.root).as_posix()
+                if relpath.startswith(EXCLUDED_PREFIXES):
+                    continue
+                relpaths.add(relpath)
+        for relpath in sorted(relpaths):
+            self.modules.append(
+                ModuleInfo(relpath, (self.root / relpath).read_text())
+            )
 
     def module(self, relpath):
         """Look up a module by root-relative POSIX path (or ``None``)."""

@@ -13,4 +13,8 @@ from repro.lint.passes import (  # noqa: F401  (imported for registration)
     error_hierarchy,
     exhibit_registry,
     frozen_oracle,
+    resource_paths,
+    seed_provenance,
+    sweep_race,
+    unreachable_code,
 )

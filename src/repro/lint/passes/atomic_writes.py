@@ -11,7 +11,7 @@ helpers themselves live).
 
 import ast
 
-from repro.lint.astutil import call_name, str_constant
+from repro.lint.astutil import call_name, open_write_mode
 from repro.lint.framework import LintPass, register
 
 EXEMPT_PREFIXES = ("src/repro/robustness/",)
@@ -37,19 +37,6 @@ _HELP = (
 )
 
 
-def _open_write_mode(call):
-    """The write mode string of an ``open()`` call, or ``None``."""
-    mode = None
-    if len(call.args) >= 2:
-        mode = str_constant(call.args[1])
-    for kw in call.keywords:
-        if kw.arg == "mode":
-            mode = str_constant(kw.value)
-    if mode is not None and any(ch in mode for ch in "wax+"):
-        return mode
-    return None
-
-
 @register
 class AtomicWritesPass(LintPass):
     id = "atomic-writes"
@@ -66,7 +53,7 @@ class AtomicWritesPass(LintPass):
                 continue
             name = call_name(node)
             if name == "open":
-                mode = _open_write_mode(node)
+                mode = open_write_mode(node)
                 if mode is not None:
                     yield self.finding(
                         module, node.lineno,

@@ -1,0 +1,139 @@
+"""resource-paths: write handles must be closed on every CFG path.
+
+A file handle opened for writing and dropped on *any* path — an early
+``return``, an exception caught by a handler that bails out, a loop
+``break`` — leaves buffered data unflushed and, on some platforms, the
+file locked.  In a reproduction pipeline that shows up as a truncated
+archive that the next stage half-reads.  The atomic write layer
+(:mod:`repro.robustness.atomic`) and ``with`` blocks both make this
+impossible by construction; this pass checks the remaining bare
+``handle = open(path, "w")`` form against the CFG: from the opening
+statement, **no** path may reach the scope's exit without passing a
+closing statement (``handle.close()``, ``handle.__exit__``, ``with
+handle:`` / ``with closing(handle):``).  Exception edges participate,
+so a ``try`` body's failure path is checked just like the normal one.
+
+An open-for-write whose handle is not kept at all (``open(p,
+"w").write(...)``) can never be closed and is flagged directly.
+"""
+
+import ast
+
+from repro.lint.astutil import call_name, open_write_mode
+from repro.lint.flow.cfg import build_cfg, iter_scopes
+from repro.lint.flow.dataflow import own_expressions
+from repro.lint.framework import LintPass, register
+
+#: Callees that return an open file handle.
+_OPENERS = frozenset({
+    "open", "io.open", "os.fdopen", "codecs.open",
+    "gzip.open", "bz2.open", "lzma.open",
+})
+
+#: Callees that adapt a handle into a closing context manager.
+_CLOSING_WRAPPERS = frozenset({"contextlib.closing", "closing"})
+
+
+def _open_write_calls(stmt):
+    """Open-for-write calls in the expressions *stmt* itself evaluates."""
+    for expr in own_expressions(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) and call_name(node) in _OPENERS:
+                mode = open_write_mode(node)
+                if mode is not None:
+                    yield node, mode
+
+
+def _with_context_exprs(stmt):
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    return []
+
+
+def _closes(stmt, name):
+    """True when *stmt* closes the handle bound to *name*."""
+    for expr in own_expressions(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                callee = call_name(node)
+                if callee in (f"{name}.close", f"{name}.__exit__"):
+                    return True
+                if callee in _CLOSING_WRAPPERS and any(
+                    isinstance(arg, ast.Name) and arg.id == name
+                    for arg in node.args
+                ):
+                    return True
+    for expr in _with_context_exprs(stmt):
+        if isinstance(expr, ast.Name) and expr.id == name:
+            return True  # `with handle:` — closed by __exit__
+    return False
+
+
+@register
+class ResourcePathsPass(LintPass):
+    id = "resource-paths"
+    description = (
+        "a handle opened for writing must reach close()/__exit__ on"
+        " every control-flow path, including exception edges"
+    )
+
+    def check_module(self, module, project):
+        for scope_name, scope in iter_scopes(module.tree):
+            cfg = build_cfg(scope, name=scope_name)
+            yield from self._check_scope(module, cfg)
+
+    def _check_scope(self, module, cfg):
+        for index in cfg.statement_nodes():
+            stmt = cfg.nodes[index]
+            handle_name = None
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                handle_name = stmt.targets[0].id
+            context_exprs = _with_context_exprs(stmt)
+            for call, mode in _open_write_calls(stmt):
+                if call in context_exprs or any(
+                    call in ast.walk(e) for e in context_exprs
+                ):
+                    continue  # `with open(...)` closes itself
+                if handle_name is not None and stmt.value is call:
+                    yield from self._check_paths(
+                        module, cfg, index, stmt, handle_name, mode
+                    )
+                else:
+                    yield self.finding(
+                        module, call.lineno,
+                        f"open(..., {mode!r}) handle is not kept and"
+                        " can never be closed; bind it, use `with`, or"
+                        " use repro.robustness.atomic",
+                    )
+
+    def _check_paths(self, module, cfg, open_index, stmt, name, mode):
+        closers = {
+            index for index in cfg.statement_nodes()
+            if _closes(cfg.nodes[index], name)
+        }
+        # Can the scope exit be reached from the open without passing
+        # a closing statement?
+        stack = [
+            succ for succ in cfg.succ[open_index] if succ not in closers
+        ]
+        seen = set(stack)
+        while stack:
+            node = stack.pop()
+            if node == cfg.exit:
+                yield self.finding(
+                    module, stmt.lineno,
+                    f"handle {name!r} opened with mode {mode!r} may"
+                    " leave the scope without being closed (a return,"
+                    " break or exception path skips its close());"
+                    " close it in a finally block, use `with`, or use"
+                    " repro.robustness.atomic",
+                )
+                return
+            for succ in cfg.succ[node]:
+                if succ not in seen and succ not in closers:
+                    seen.add(succ)
+                    stack.append(succ)

@@ -1,0 +1,50 @@
+"""unreachable-code: every statement must be reachable from entry.
+
+Dead code in a reproduction is not just clutter — it is usually a
+*silently disabled check or fixup*: a consistency assertion parked
+after an unconditional ``raise``, cleanup after a ``return`` that was
+added later, an experiment arm cut off by ``while True`` with no
+``break``.  This pass builds the CFG of every scope (module bodies,
+functions, methods at any nesting) and reports statements with no
+control-flow path from the scope's entry.
+
+Only the *head* of each dead region is reported: for a block of five
+statements behind an unconditional ``raise``, one finding points at
+the first of them, and statements nested inside an already-dead
+statement are not re-reported.
+"""
+
+from repro.lint.flow.cfg import build_cfg, iter_scopes
+from repro.lint.framework import LintPass, register
+
+
+@register
+class UnreachableCodePass(LintPass):
+    id = "unreachable-code"
+    description = (
+        "statements with no control-flow path from scope entry"
+        " (e.g. code after an unconditional raise or return)"
+    )
+
+    def check_module(self, module, project):
+        for scope_name, scope in iter_scopes(module.tree):
+            cfg = build_cfg(scope, name=scope_name)
+            reachable = cfg.reachable()
+            for parent, tops in cfg.blocks:
+                in_dead_run = False
+                for index in tops:
+                    if index in reachable:
+                        in_dead_run = False
+                        continue
+                    if in_dead_run:
+                        continue
+                    in_dead_run = True
+                    if parent is not None and parent not in reachable:
+                        continue  # nested inside already-reported code
+                    stmt = cfg.nodes[index]
+                    yield self.finding(
+                        module, stmt.lineno,
+                        f"unreachable code in {scope_name}: no"
+                        " control-flow path from entry reaches this"
+                        " statement",
+                    )

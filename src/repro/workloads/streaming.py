@@ -80,7 +80,7 @@ class StreamingWorkload(SyntheticWorkload):
                     value=self.values.value(rng, em.pc))
             em.load(_ACC + 1, c_addr, src1=_PTR_C,
                     value=self.values.value(rng, em.pc))
-            for c in range(self.compute_per_element):
+            for _c in range(self.compute_per_element):
                 em.alu(_ACC, _ACC, _ACC + 1)
             em.store(a_addr, data_src=_ACC, src1=_PTR_B)
             em.alu(_PTR_B, _PTR_B, 1)

@@ -1,0 +1,28 @@
+"""Clean fixture: every write handle is closed on every path."""
+
+from contextlib import closing
+
+
+def finally_closed(path, text):
+    handle = open(path, "w")
+    try:
+        handle.write(text)
+    finally:
+        handle.close()
+
+
+def with_managed(path, text):
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def wrapper_managed(path, text):
+    with closing(open(path, "w")) as handle:
+        handle.write(text)
+
+
+def straight_line(path, text):
+    handle = open(path, "w")
+    handle.write(text)
+    handle.close()
+    return path

@@ -1,0 +1,29 @@
+"""Violating fixture: write handles leaked on some control-flow path.
+
+Lives under ``src/repro/robustness/`` in the miniature tree because
+the atomic-writes pass exempts that prefix — these fixtures exercise
+resource-paths alone.
+"""
+
+
+def early_return_leak(path, text):
+    handle = open(path, "w")
+    if not text:
+        return False
+    handle.write(text)
+    handle.close()
+    return True
+
+
+def handler_return_leak(path, payload):
+    handle = open(path, "w")
+    try:
+        handle.write(payload.render())
+    except AttributeError:
+        return None
+    handle.close()
+    return path
+
+
+def never_kept(path, text):
+    open(path, "w").write(text)

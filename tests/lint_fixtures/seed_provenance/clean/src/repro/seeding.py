@@ -1,0 +1,21 @@
+"""Clean fixture: seeds come from explicit configuration values."""
+
+import random
+
+import numpy as np
+
+DEFAULT_SEED = 1234
+
+
+def build_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def seeded_stream(config_seed=DEFAULT_SEED):
+    rng = random.Random(config_seed)
+    return [rng.random() for _ in range(4)]
+
+
+def offset_rng(offset):
+    seed = DEFAULT_SEED + offset
+    return np.random.default_rng(seed)

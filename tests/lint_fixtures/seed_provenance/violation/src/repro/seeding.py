@@ -1,0 +1,30 @@
+"""Violating fixture: RNG seeds flowing from nondeterministic sources."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def fresh_seed():
+    return int(time.time()) % 100003
+
+
+def stamped_rng():
+    stamp = int(time.time())
+    return np.random.default_rng(stamp)
+
+
+def helper_seeded_rng():
+    seed = fresh_seed()
+    return np.random.default_rng(seed)
+
+
+def entropy_seeded():
+    noise = int.from_bytes(os.urandom(4), "little")
+    random.seed(noise)
+
+
+def direct_clock_rng():
+    return np.random.default_rng(time.time_ns())

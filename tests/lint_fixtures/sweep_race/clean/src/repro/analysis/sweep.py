@@ -1,0 +1,30 @@
+"""Clean fixture: workers return results; the parent aggregates.
+
+The ``_prime`` initializer *does* set a module global, but that is the
+sanctioned use: ``initializer=`` primes per-worker state and is exempt
+by design.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_WORKER_CONFIG = None
+
+
+def _prime(config):
+    global _WORKER_CONFIG
+    _WORKER_CONFIG = config
+
+
+def run_one(label):
+    scale = len(_WORKER_CONFIG or "")
+    return len(label) * max(scale, 1)
+
+
+def sweep(labels, config):
+    results = {}
+    with ProcessPoolExecutor(
+        initializer=_prime, initargs=(config,)
+    ) as pool:
+        for label, value in zip(labels, pool.map(run_one, labels)):
+            results[label] = value
+    return results

@@ -1,0 +1,34 @@
+"""Violating fixture: pool workers mutating shared state."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+RESULTS = {}
+TOTALS = []
+
+
+class Stats:
+    count = 0
+
+
+def record(label, value):
+    TOTALS.append((label, value))
+
+
+def run_one(label):
+    value = len(label)
+    RESULTS[label] = value
+    Stats.count = Stats.count + 1
+    record(label, value)
+    return value
+
+
+def sweep(labels):
+    seen = []
+
+    def collect(label):
+        seen.append(label)
+
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(run_one, label) for label in labels]
+        list(pool.map(collect, labels))
+    return [f.result() for f in futures]

@@ -1,0 +1,21 @@
+"""Clean fixture: every statement is reachable."""
+
+
+def poll_until_ready(items):
+    while True:
+        if items:
+            break
+    return items
+
+
+def pick(flag):
+    if flag:
+        return "yes"
+    return "no"
+
+
+def drain(queue):
+    for item in queue:
+        if item is None:
+            continue
+        yield item

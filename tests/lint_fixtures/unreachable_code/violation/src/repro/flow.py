@@ -1,0 +1,26 @@
+"""Violating fixture: statements no control-flow path can reach."""
+
+
+def after_return(x):
+    return x * 2
+    print("never printed")
+
+
+def after_raise(message):
+    raise ValueError(message)
+    cleanup = True
+    return cleanup
+
+
+def spin_forever(queue):
+    while True:
+        queue.poll()
+    return queue
+
+
+def both_branches_return(flag):
+    if flag:
+        return "yes"
+    else:
+        return "no"
+    return "unreachable"

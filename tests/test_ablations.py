@@ -39,7 +39,7 @@ def test_mshr_sweep_monotone():
 
 def test_store_buffer_sweep(trace_len=SMALL):
     ex = run_ablation("store_buffer", trace_len=SMALL, sizes=(1, None))
-    for _, headers, rows in ex.tables:
+    for _, _headers, rows in ex.tables:
         finite, infinite = rows[0], rows[-1]
         assert finite[1] <= infinite[1] + 1e-9  # MLP never helped by a cap
         assert finite[2] <= 1.0 + 1e-9  # 1-entry SB: store MLP <= 1

@@ -37,8 +37,8 @@ class TestClusteringMath:
         pc = 0x100
         dmiss = []
         index = 0
-        for burst in range(6):
-            for k in range(5):
+        for _burst in range(6):
+            for _k in range(5):
                 dmiss.append(index)
                 b.add_load(pc, dst=2, addr=0x8000 + 64 * index, src1=1)
                 pc += 4

@@ -10,7 +10,7 @@ from repro.trace.builder import TraceBuilder
 def cold_loop_trace(lines=64, repeats=3, region=0x5000_0000):
     """Touch `lines` distinct lines `repeats` times from a fixed loop PC."""
     b = TraceBuilder("cold-loop")
-    for r in range(repeats):
+    for _r in range(repeats):
         for k in range(lines):
             b.add_load(0x100, dst=2, addr=region + 64 * k, src1=1, value=k)
     return b.build()

@@ -16,7 +16,7 @@ def random_annotated_trace(draw):
     b = TraceBuilder("random")
     kinds = []
     pc = 0x1000
-    for i in range(n):
+    for _i in range(n):
         kind = draw(
             st.sampled_from(
                 ["alu", "load", "store", "branch", "prefetch", "membar", "cas"]

@@ -136,7 +136,7 @@ class TestExhibitStructure:
 
     def test_figure5(self):
         ex = run_exhibit("figure5", trace_len=SMALL, sizes=(64,), configs="ACE")
-        for _, headers, rows in ex.tables:
+        for _, _headers, rows in ex.tables:
             for row in rows:
                 fractions = row[1:]
                 assert all(0.0 <= f <= 1.0 for f in fractions)
@@ -145,7 +145,7 @@ class TestExhibitStructure:
     def test_figure6(self):
         ex = run_exhibit("figure6", trace_len=SMALL, iw_sizes=(16,),
                          configs="CE")
-        for _, headers, rows in ex.tables:
+        for _, _headers, rows in ex.tables:
             for row in rows[:-1]:  # skip the INF row
                 series = [v for v in row[1:] if v is not None]
                 for a, b in zip(series, series[1:]):
@@ -178,7 +178,7 @@ class TestExhibitStructure:
 
     def test_figure10(self):
         ex = run_exhibit("figure10", trace_len=SMALL)
-        for _, headers, rows in ex.tables:
+        for _, _headers, rows in ex.tables:
             for row in rows:
                 base = row[1]
                 for value in row[2:-1]:

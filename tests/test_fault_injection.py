@@ -134,7 +134,7 @@ class TestAtomicSaves:
 
         def exploding_savez(handle, **arrays):
             handle.write(b"PK\x03\x04 partial zip header")
-            raise OSError("disk full")
+            raise OSError("disk full")  # reprolint: disable=error-hierarchy
 
         monkeypatch.setattr(
             atomic_module.np, "savez_compressed", exploding_savez
@@ -153,7 +153,7 @@ class TestAtomicSaves:
         before = trace_path.read_bytes()
 
         def exploding_savez(handle, **arrays):
-            raise OSError("disk full")
+            raise OSError("disk full")  # reprolint: disable=error-hierarchy
 
         monkeypatch.setattr(
             atomic_module.np, "savez_compressed", exploding_savez
@@ -214,7 +214,7 @@ class TestFailSoftRunner:
 
         def strict_run_exhibit(name, **kwargs):
             if name not in runner_module.EXHIBITS:
-                raise ValueError(f"unknown exhibit {name!r}")
+                raise ValueError(f"unknown exhibit {name!r}")  # reprolint: disable=error-hierarchy
             return _FakeExhibit()
 
         monkeypatch.setattr(runner_module, "run_exhibit", strict_run_exhibit)

@@ -123,7 +123,7 @@ class TestSection56:
     def test_perfection_never_hurts(self, database_annotated):
         grid = limit_configs(runahead=True)
         base = simulate(database_annotated, grid[0][1]).mlp
-        for label, machine in grid[1:]:
+        for _label, machine in grid[1:]:
             assert simulate(database_annotated, machine).mlp >= base - 1e-9
 
     def test_perfect_ifetch_useless_for_jbb(self, specjbb_annotated):

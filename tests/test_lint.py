@@ -31,11 +31,15 @@ PASS_FIXTURES = {
     "frozen-oracle": ("frozen_oracle", 2),
     "config-attrs": ("config_attrs", 3),
     "exhibit-registry": ("exhibit_registry", 3),
+    "sweep-race": ("sweep_race", 4),
+    "seed-provenance": ("seed_provenance", 4),
+    "resource-paths": ("resource_paths", 3),
+    "unreachable-code": ("unreachable_code", 4),
 }
 
 
 class TestRegistry:
-    def test_all_six_passes_registered(self):
+    def test_all_ten_passes_registered(self):
         assert set(registered_passes()) == set(PASS_FIXTURES)
 
     def test_unknown_select_rejected(self):
@@ -104,7 +108,7 @@ class TestSuppression:
         source = (self.ROOT / "src/repro/widget.py").read_text()
         target = tmp_path / "src" / "repro" / "widget.py"
         target.parent.mkdir(parents=True)
-        target.write_text(
+        target.write_text(  # reprolint: disable=atomic-writes
             source.replace("disable=error-hierarchy", "disable=all")
         )
         findings = run_lint(tmp_path, select=["error-hierarchy"])
@@ -118,7 +122,7 @@ class TestFrozenOracle:
         source = (REPO_ROOT / ORACLE_PATH).read_text()
         if mutate is not None:
             source = mutate(source)
-        target.write_text(source)
+        target.write_text(source)  # reprolint: disable=atomic-writes
         return tmp_path
 
     def test_verbatim_oracle_matches_manifest(self, tmp_path):
@@ -137,7 +141,7 @@ class TestFrozenOracle:
     def test_deleting_the_oracle_fails(self, tmp_path):
         engine = tmp_path / "src/repro/core/mlpsim.py"
         engine.parent.mkdir(parents=True)
-        engine.write_text("def simulate():\n    return 0.0\n")
+        engine.write_text("def simulate():\n    return 0.0\n")  # reprolint: disable=atomic-writes
         findings = run_lint(tmp_path, select=["frozen-oracle"])
         assert len(findings) == 1
         assert "missing" in findings[0].message
@@ -200,7 +204,7 @@ class TestFrameworkDetails:
     def test_parse_error_is_reported_not_raised(self, tmp_path):
         bad = tmp_path / "src" / "repro" / "broken.py"
         bad.parent.mkdir(parents=True)
-        bad.write_text("def broken(:\n")
+        bad.write_text("def broken(:\n")  # reprolint: disable=atomic-writes
         findings = run_lint(tmp_path)
         assert len(findings) == 1
         assert findings[0].pass_id == "parse"

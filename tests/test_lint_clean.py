@@ -1,11 +1,13 @@
 """The merged tree is reprolint-clean: every invariant holds right now.
 
-This is the enforcement tier: ``repro lint`` runs all six passes over
-the real repository and must report nothing.  A failure here means a
-commit introduced a bare stdlib raise, a non-atomic result write, a
-nondeterminism hazard in engine code, an edit to the frozen oracle, a
-misspelled config field in an experiment, or a stale exhibit registry
-— with the exact file, line and message in the assertion output.
+This is the enforcement tier: ``repro lint`` runs all ten passes over
+the real repository (``src/repro``, ``tests`` and ``examples``) and
+must report nothing.  A failure here means a commit introduced a bare
+stdlib raise, a non-atomic result write, a nondeterminism hazard, an
+edit to the frozen oracle, a misspelled config field, a stale exhibit
+registry, a pool worker mutating shared state, a wall-clock-tainted
+RNG seed, a leakable write handle, or unreachable code — with the
+exact file, line and message in the assertion output.
 """
 
 import pathlib

@@ -99,7 +99,7 @@ def test_cache_occupancy_bounded_property(line_ids):
         c.access(line * 64)
         assert c.occupancy() <= capacity
     # Whatever probe says is consistent with an immediate access.
-    for line in set(line_ids):
+    for line in sorted(set(line_ids)):
         resident = c.probe(line * 64)
         assert c.access(line * 64) == resident
 

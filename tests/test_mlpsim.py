@@ -125,7 +125,7 @@ class TestWindowLimits:
         b = TraceBuilder("iwfull")
         b.add_load(0x100, dst=2, addr=0x8000, src1=1)  # miss
         pc = 0x104
-        for k in range(6):
+        for _k in range(6):
             b.add_alu(pc, dst=3, src1=2)  # all depend on the miss
             pc += 4
         b.add_load(pc, dst=9, addr=0x9000, src1=1)  # independent miss

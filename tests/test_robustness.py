@@ -195,7 +195,7 @@ class TestAtomicWrite:
         with pytest.raises(RuntimeError):
             with atomic_write(path, "w") as handle:
                 handle.write("partial")
-                raise RuntimeError("interrupted")
+                raise RuntimeError("interrupted")  # reprolint: disable=error-hierarchy
         assert path.read_text() == "keep me"
         assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
 
@@ -204,7 +204,7 @@ class TestAtomicWrite:
         with pytest.raises(RuntimeError):
             with atomic_write(path, "w") as handle:
                 handle.write("partial")
-                raise RuntimeError("interrupted")
+                raise RuntimeError("interrupted")  # reprolint: disable=error-hierarchy
         assert not path.exists()
         assert list(tmp_path.iterdir()) == []
 

@@ -191,7 +191,7 @@ class TestPrefetches:
         b = TraceBuilder("rae-pf-far")
         b.add_prefetch(0x100, addr=0x9000, src1=1)
         pc = 0x104
-        for k in range(80):
+        for _k in range(80):
             b.add_alu(pc, dst=20, src1=1)
             pc += 4
         b.add_load(pc, dst=2, addr=0x8000, src1=1)

@@ -164,8 +164,8 @@ class TestVersionSkew:
 
     def test_versionless_archive_rejected(self, tmp_path):
         path = tmp_path / "raw.npz"
-        with open(path, "wb") as handle:
-            np.savez(handle, op=np.zeros(1, dtype=np.int8))
+        with open(path, "wb") as handle:  # reprolint: disable=atomic-writes
+            np.savez(handle, op=np.zeros(1, dtype=np.int8))  # reprolint: disable=atomic-writes
         with pytest.raises(ValueError, match="not a repro trace"):
             load_trace(path)
 
