@@ -29,6 +29,7 @@ import concurrent.futures
 import multiprocessing
 import os
 import tempfile
+import time
 
 from repro.robustness.errors import ConfigError, SimulationError
 
@@ -91,13 +92,16 @@ def _run_one(label, machine, workload):
     return simulate(_WORKER_ANNOTATED, machine, workload=workload)
 
 
-def _make_pool(annotated, jobs):
-    """Create a process pool primed with *annotated*.
+def share_annotated(annotated):
+    """Publish *annotated* for worker processes; returns ``(ctx, spill)``.
 
-    Returns ``(executor, spill_path)``; *spill_path* is the temporary
-    archive to delete after the sweep (``None`` under fork).  Returns
-    ``(None, None)`` when no pool can be created, signalling the caller
-    to fall back to the serial backend.
+    Preferred path: the ``fork`` start method, with the trace parked in
+    the module global so children inherit it copy-on-write (``spill``
+    is ``None``).  Platforms without fork get the ``spawn`` context and
+    a temporary ``.npz`` spill each worker must load.  ``(None, None)``
+    means no multiprocessing context is usable at all and the caller
+    should run serially.  Balance every successful call with
+    :func:`unshare_annotated`.
     """
     global _WORKER_ANNOTATED
     try:
@@ -105,19 +109,8 @@ def _make_pool(annotated, jobs):
     except ValueError:
         ctx = None
     if ctx is not None:
-        try:
-            _WORKER_ANNOTATED = annotated
-            return (
-                concurrent.futures.ProcessPoolExecutor(
-                    max_workers=jobs, mp_context=ctx
-                ),
-                None,
-            )
-        except (OSError, ValueError):
-            _WORKER_ANNOTATED = None
-            return None, None
-    # No fork on this platform: spill the trace once and let each
-    # spawned worker load it in its initializer.
+        _WORKER_ANNOTATED = annotated
+        return ctx, None
     spill_path = None
     try:
         from repro.trace.io import save_annotated
@@ -126,17 +119,8 @@ def _make_pool(annotated, jobs):
             prefix="repro-sweep-", suffix=".npz"
         )
         os.close(fd)
-        save_annotated(spill_path, annotated)
-        ctx = multiprocessing.get_context("spawn")
-        return (
-            concurrent.futures.ProcessPoolExecutor(
-                max_workers=jobs,
-                mp_context=ctx,
-                initializer=_init_from_spill,
-                initargs=(spill_path,),
-            ),
-            spill_path,
-        )
+        save_annotated(annotated, spill_path)
+        return multiprocessing.get_context("spawn"), spill_path
     except (OSError, ValueError):
         if spill_path is not None:
             try:
@@ -146,18 +130,54 @@ def _make_pool(annotated, jobs):
         return None, None
 
 
+def unshare_annotated(spill_path):
+    """Drop the shared trace and delete the spill archive, if any."""
+    global _WORKER_ANNOTATED
+    _WORKER_ANNOTATED = None
+    if spill_path is not None:
+        try:
+            os.unlink(spill_path)
+        except OSError:
+            pass
+
+
+def _make_pool(annotated, jobs):
+    """Create a process pool primed with *annotated*.
+
+    Returns ``(executor, spill_path)``; *spill_path* is the temporary
+    archive to delete after the sweep (``None`` under fork).  Returns
+    ``(None, None)`` when no pool can be created, signalling the caller
+    to fall back to the serial backend.
+    """
+    ctx, spill_path = share_annotated(annotated)
+    if ctx is None:
+        return None, None
+    kwargs = {"max_workers": jobs, "mp_context": ctx}
+    if spill_path is not None:
+        kwargs["initializer"] = _init_from_spill
+        kwargs["initargs"] = (spill_path,)
+    try:
+        return concurrent.futures.ProcessPoolExecutor(**kwargs), spill_path
+    except (OSError, ValueError):
+        unshare_annotated(spill_path)
+        return None, None
+
+
 def parallel_sweep_results(annotated, pairs, workload, progress, jobs):
     """Run ``(label, machine)`` *pairs* on a pool of *jobs* workers.
 
     Returns ``{label: MLPResult}`` in submission order, or ``None`` if
     a worker pool could not be created (the caller then runs serially).
     A failing worker raises :class:`SimulationError` naming the label
-    of the configuration that failed.
+    of the configuration that failed, the attempt count (always 1 on
+    this unsupervised backend — ``repro.robustness.supervisor`` is the
+    retrying layer) and the elapsed wall-clock time, so a failure in a
+    long campaign is diagnosable from the one-line message.
     """
-    global _WORKER_ANNOTATED
     executor, spill_path = _make_pool(annotated, jobs)
     if executor is None:
         return None
+    started = time.monotonic()
     try:
         with executor:
             futures = [
@@ -169,23 +189,22 @@ def parallel_sweep_results(annotated, pairs, workload, progress, jobs):
                 try:
                     results[label] = future.result()
                 except concurrent.futures.process.BrokenProcessPool as exc:
+                    elapsed = time.monotonic() - started
                     raise SimulationError(
-                        f"sweep worker died running config {label!r}: {exc}",
+                        f"sweep worker died running config {label!r}"
+                        f" (attempt 1, after {elapsed:.1f}s): {exc}",
                         field=label,
                     ) from exc
                 except Exception as exc:
                     executor.shutdown(wait=False, cancel_futures=True)
+                    elapsed = time.monotonic() - started
                     raise SimulationError(
-                        f"sweep worker failed for config {label!r}: {exc}",
+                        f"sweep worker failed for config {label!r}"
+                        f" (attempt 1, after {elapsed:.1f}s): {exc}",
                         field=label,
                     ) from exc
                 if progress is not None:
                     progress(label)
             return results
     finally:
-        _WORKER_ANNOTATED = None
-        if spill_path is not None:
-            try:
-                os.unlink(spill_path)
-            except OSError:
-                pass
+        unshare_annotated(spill_path)

@@ -10,6 +10,11 @@ an independent simulation of the same trace.  Passing ``jobs=N`` (or
 setting ``REPRO_JOBS``) runs them on a process pool via
 :mod:`repro.analysis.parallel`; results are identical to the serial
 backend, label for label.  See ``docs/PERFORMANCE.md``.
+
+Long or failure-prone campaigns should run under supervision
+(``supervise=...``): the sweep is then journalled, resumable after a
+crash, retried per-config with backoff, and fail-soft — see
+:mod:`repro.robustness.supervisor` and ``docs/ROBUSTNESS.md``.
 """
 
 import dataclasses
@@ -61,7 +66,8 @@ class SweepResult:
         }
 
 
-def sweep(annotated, machines, workload=None, progress=None, jobs=None):
+def sweep(annotated, machines, workload=None, progress=None, jobs=None,
+          supervise=None):
     """Run MLPsim for every ``(label, machine)`` pair in *machines*.
 
     *machines* is an iterable of pairs (an ordered mapping also works).
@@ -74,11 +80,29 @@ def sweep(annotated, machines, workload=None, progress=None, jobs=None):
     Parallel runs produce results identical to serial ones and preserve
     label order in both the result dict and the progress callbacks; if
     no worker pool can be created the sweep silently runs serially.
+
+    *supervise* routes the sweep through the crash-safe supervisor
+    (:func:`repro.robustness.supervisor.supervised_sweep`): pass
+    ``True`` for default supervision or a dict of supervisor keyword
+    arguments (``journal_path``, ``resume``, ``policy``, ``seed``,
+    ``trace_len``, ``fault_plan``).  The return value is then a
+    :class:`~repro.robustness.supervisor.SupervisedSweepResult` — a
+    :class:`SweepResult` whose ``quarantined`` list carries any
+    dead-lettered configurations instead of raising.
     """
     if hasattr(machines, "items"):
         machines = machines.items()
     pairs = list(machines)
     name = workload or annotated.trace.name
+
+    if supervise is not None and supervise is not False:
+        from repro.robustness.supervisor import supervised_sweep
+
+        options = {} if supervise is True else dict(supervise)
+        return supervised_sweep(
+            annotated, pairs, workload=name, jobs=jobs,
+            progress=progress, **options
+        )
 
     from repro.analysis.parallel import parallel_sweep_results, resolve_jobs
 

@@ -9,6 +9,10 @@ Subcommands:
 * ``simulate``  — run MLPsim (or an in-order machine) over a workload or
   saved trace and print MLP, inhibitors and store MLP;
 * ``cyclesim``  — run the cycle-accurate simulator and print CPI/MLP;
+* ``sweep``     — run a machine-config grid under crash-safe
+  supervision: journaled checkpoint/resume, per-config timeouts,
+  retry with backoff, dead-letter quarantine (see
+  ``docs/ROBUSTNESS.md``);
 * ``exhibit``   — regenerate one (or all) of the paper's tables/figures;
 * ``ablation``  — run one of the ablation studies;
 * ``lint``      — statically check the repository invariants
@@ -20,6 +24,9 @@ Examples::
     python -m repro exhibit table3
     python -m repro generate specweb99 -n 200000 -o web.npz
     python -m repro simulate --trace web.npz --machine 128E
+    python -m repro sweep database -n 60000 --jobs 4 \\
+        --journal sweep.jsonl --config-timeout 120 --max-retries 2
+    python -m repro sweep database -n 60000 --journal sweep.jsonl --resume
     python -m repro ablation runahead_distance
 """
 
@@ -203,6 +210,85 @@ def cmd_cyclesim(args):
     return 0
 
 
+def cmd_sweep(args):
+    """``repro sweep``: a config grid under crash-safe supervision.
+
+    The grid is either the ``--machine`` specs or the cross product of
+    ``--windows`` and ``--policies``.  With ``--journal`` every
+    completion is checkpointed; ``--resume`` replays the journal and
+    re-executes only unfinished configs.  Configurations that exhaust
+    their retry budget are quarantined and reported at the end,
+    fail-soft; the exit code is nonzero iff any config was quarantined.
+    """
+    from repro.analysis.parallel import resolve_jobs
+    from repro.robustness.supervisor import SupervisorPolicy, supervised_sweep
+
+    resolve_jobs(args.jobs)  # reject bad --jobs/REPRO_JOBS before any work
+    if args.resume and not args.journal:
+        raise ConfigError(
+            "--resume needs --journal PATH to resume from",
+            field="resume",
+        )
+    grid = _sweep_grid(args)
+    annotated = _load_annotated(args)
+    policy = SupervisorPolicy(
+        max_retries=args.max_retries,
+        config_timeout=args.config_timeout,
+        backoff_base=args.backoff,
+    )
+    result = supervised_sweep(
+        annotated,
+        grid,
+        seed=args.seed,
+        jobs=args.jobs,
+        journal_path=args.journal,
+        resume=args.resume,
+        policy=policy,
+        progress=lambda label: print(f"  done: {label}"),
+    )
+    print(f"== sweep: {result.workload} ({len(grid)} configs) ==")
+    for label, config_result in result.results.items():
+        print(f"  {label:<24} MLP={config_result.mlp:.3f}")
+    if result.resumed:
+        print(f"resumed {result.resumed} config(s) from the journal;"
+              f" executed {result.executed}")
+    if result.worker_replacements:
+        print(f"replaced {result.worker_replacements} worker(s)"
+              + (" and degraded to the serial backend"
+                 if result.degraded_to_serial else ""))
+    if result.quarantined:
+        print(f"quarantined {len(result.quarantined)} config(s):")
+        for line in result.quarantine_report().splitlines():
+            print(f"  {line}")
+    return 0 if result.complete else 1
+
+
+def _sweep_grid(args):
+    """Build the ``repro sweep`` grid: explicit specs or a cross."""
+    if args.machine:
+        return [(spec, _parse_machine(spec)) for spec in args.machine]
+    try:
+        windows = [int(w) for w in args.windows.split(",") if w.strip()]
+    except ValueError:
+        raise ConfigError(
+            f"--windows must be comma-separated integers,"
+            f" got {args.windows!r}",
+            field="windows",
+        ) from None
+    policies = [p.strip().upper() for p in args.policies.split(",")
+                if p.strip()]
+    if not windows or not policies:
+        raise ConfigError(
+            "--windows and --policies must each name at least one value",
+            field="windows",
+        )
+    return [
+        (f"{window}{policy}", MachineConfig.named(f"{window}{policy}"))
+        for window in windows
+        for policy in policies
+    ]
+
+
 def cmd_exhibit(args):
     """``repro exhibit``: regenerate paper tables/figures, fail-soft.
 
@@ -212,7 +298,12 @@ def cmd_exhibit(args):
     """
     import os
 
+    from repro.analysis.parallel import resolve_jobs
     from repro.experiments.runner import format_summary, run_exhibits
+
+    # Validate worker counts up front: a bad --jobs or REPRO_JOBS must
+    # exit 2 with a one-line message, not fail every exhibit in turn.
+    resolve_jobs(args.jobs)
 
     if args.length is not None:
         os.environ["REPRO_TRACE_LEN"] = str(args.length)
@@ -403,6 +494,43 @@ def build_parser():
                    help="print the CPI stack (per-category cycle attribution)")
     p.set_defaults(func=cmd_cyclesim)
 
+    p = sub.add_parser(
+        "sweep",
+        help="run a config grid under crash-safe supervision"
+        " (journal/resume/retry/quarantine)",
+    )
+    _add_trace_arguments(p, require_workload=False)
+    p.add_argument(
+        "-m", "--machine", action="append",
+        help="machine spec for one grid point (repeatable); default"
+        " grid is --windows x --policies",
+    )
+    p.add_argument("--windows", default="16,32,64,128",
+                   help="comma-separated issue-window sizes for the"
+                   " default grid (default 16,32,64,128)")
+    p.add_argument("--policies", default="A,B,C,D,E",
+                   help="comma-separated Table 2 issue policies for the"
+                   " default grid (default A,B,C,D,E)")
+    p.add_argument("-j", "--jobs", type=int, default=None,
+                   help="worker processes (0 = one per CPU; default"
+                   " REPRO_JOBS or serial)")
+    p.add_argument("--journal",
+                   help="JSON-lines sweep journal path; enables"
+                   " checkpointing and --resume")
+    p.add_argument("--resume", action="store_true",
+                   help="replay the journal and re-execute only"
+                   " unfinished configs")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="re-executions per config before quarantine"
+                   " (default 2)")
+    p.add_argument("--config-timeout", type=float, default=None,
+                   help="wall-clock budget per config attempt in"
+                   " seconds (default unbounded)")
+    p.add_argument("--backoff", type=float, default=0.5,
+                   help="base seconds for exponential retry backoff"
+                   " (default 0.5)")
+    p.set_defaults(func=cmd_sweep)
+
     p = sub.add_parser("exhibit", help="regenerate paper tables/figures")
     p.add_argument("names", nargs="*",
                    help="exhibit names ('all' or empty: every exhibit)")
@@ -467,7 +595,7 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if (
         args.command in ("stats", "calibrate", "simulate", "cyclesim",
-                         "inspect")
+                         "inspect", "sweep")
         and not args.workload
         and not args.trace
     ):

@@ -104,3 +104,30 @@ class InhibitorCounts:
     def as_dict(self):
         """Raw per-inhibitor counts (no folding)."""
         return dict(self._counts)
+
+    @classmethod
+    def from_dict(cls, counts):
+        """Rebuild a tally from a mapping keyed by inhibitor or value.
+
+        Accepts both the :meth:`as_dict` form (:class:`Inhibitor` keys)
+        and its JSON projection (``inhibitor.value`` string keys), so a
+        journalled result restores to exactly the tally it came from.
+        """
+        tally = cls()
+        for inhibitor in Inhibitor:
+            count = counts.get(inhibitor, counts.get(inhibitor.value, 0))
+            tally._counts[inhibitor] = int(count)
+        return tally
+
+    def __eq__(self, other):
+        if not isinstance(other, InhibitorCounts):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self):
+        charged = {
+            inhibitor.value: count
+            for inhibitor, count in self._counts.items()
+            if count
+        }
+        return f"InhibitorCounts({charged})"

@@ -18,6 +18,7 @@ is why EXPERIMENTS.md compares shapes rather than absolute values.
 
 import dataclasses
 import hashlib
+import logging
 import os
 
 from repro.analysis.tables import format_table
@@ -37,6 +38,12 @@ DISPLAY_NAMES = {
 }
 
 DEFAULT_SEED = 1234
+
+#: Subdirectory of the disk cache where corrupt entries are moved for
+#: post-mortem inspection instead of being silently deleted.
+QUARANTINE_DIRNAME = "quarantine"
+
+_log = logging.getLogger("repro.cache")
 
 _annotation_cache = {}
 
@@ -77,11 +84,42 @@ def _cache_path(name, trace_len, l2_bytes, seed):
     return os.path.join(directory, f"annotated-{digest}.npz")
 
 
+def _quarantine_cache_entry(path, error):
+    """Move a corrupt cache entry aside and log a loud warning.
+
+    A corrupt entry used to be silently unlinked, which hid recurring
+    corruption (a flaky disk, a crashing writer) behind transparent
+    regeneration.  Moving it to ``<cache>/quarantine/`` keeps the
+    evidence, and the warning makes the pattern visible in logs.
+    Falls back to deletion if the move itself fails — the entry must
+    leave the cache path either way so the loader regenerates.
+    """
+    quarantine_dir = os.path.join(os.path.dirname(path), QUARANTINE_DIRNAME)
+    target = os.path.join(quarantine_dir, os.path.basename(path))
+    try:
+        os.makedirs(quarantine_dir, exist_ok=True)
+        os.replace(path, target)
+    except OSError:
+        target = None
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    _log.warning(
+        "corrupt annotation cache entry %s (%s); %s and regenerating",
+        path,
+        error,
+        f"quarantined to {target}" if target else "deleted (move failed)",
+    )
+
+
 def _load_cached_annotation(path):
     """Load a disk-cached annotation, or ``None`` on any failure.
 
     Corrupt, truncated, or version-skewed archives must regenerate,
     not crash: the cache is an accelerator, never a source of truth.
+    The damaged file is quarantined (see :func:`_quarantine_cache_entry`)
+    so recurring corruption stays visible.
     """
     if path is None or not os.path.exists(path):
         return None
@@ -89,11 +127,8 @@ def _load_cached_annotation(path):
 
     try:
         return load_annotated(path)
-    except Exception:
-        try:
-            os.unlink(path)  # evict whatever we could not read
-        except OSError:
-            pass
+    except Exception as error:
+        _quarantine_cache_entry(path, error)
         return None
 
 

@@ -12,13 +12,12 @@ the batch.
 import contextlib
 import dataclasses
 import os
-import signal
-import threading
 import time
 import traceback
 
 from repro.experiments import EXHIBITS, run_exhibit
 from repro.robustness.errors import ExhibitTimeout
+from repro.robustness.supervisor import wall_clock_deadline
 
 
 @dataclasses.dataclass
@@ -42,32 +41,22 @@ class ExhibitOutcome:
 def _deadline(seconds, name):
     """Raise :class:`ExhibitTimeout` if the body runs past *seconds*.
 
-    Implemented with ``SIGALRM``, so it only engages on platforms that
-    have it and in the main thread; elsewhere the body runs unbounded
-    (the batch still fail-softs on ordinary exceptions).
+    A thin wrapper over the supervisor's SIGALRM-based
+    :func:`~repro.robustness.supervisor.wall_clock_deadline` (shared
+    with the per-config sweep timeouts), so nested budgets — an
+    exhibit deadline around a supervised sweep's config deadline —
+    compose instead of clobbering each other.  On platforms without
+    ``SIGALRM`` (or off the main thread) the body runs unbounded; the
+    batch still fail-softs on ordinary exceptions.
     """
-    usable = (
-        seconds is not None
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
-        yield
-        return
-
-    def _expired(signum, frame):
-        raise ExhibitTimeout(
-            f"exhibit exceeded its {seconds:g}s wall-clock budget",
+    with wall_clock_deadline(
+        seconds,
+        lambda budget: ExhibitTimeout(
+            f"exhibit exceeded its {budget:g}s wall-clock budget",
             field=name,
-        )
-
-    previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
+        ),
+    ):
         yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
 
 
 def run_exhibits(names=None, timeout=None, progress=None, jobs=None,

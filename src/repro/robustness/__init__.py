@@ -15,9 +15,19 @@ and enforced:
   so an interrupted save never leaves a corrupt file at the
   destination path;
 * :mod:`repro.robustness.faults` — a deterministic fault-injection
-  harness that corrupts ``.npz`` archives in controlled ways, used by
+  harness: data-corruption faults for ``.npz`` archives (used by
   ``tests/test_fault_injection.py`` to prove every loader rejects bad
-  input loudly instead of crashing or silently mis-simulating.
+  input loudly instead of crashing or silently mis-simulating) and
+  process-level faults (:class:`ProcessFaultPlan`: kill/hang/fail a
+  sweep worker, crash the supervisor mid-journal-write) driving the
+  chaos suite in ``tests/test_chaos.py``;
+* :mod:`repro.robustness.journal` — the append-only, fsynced sweep
+  journal that makes interrupted sweeps resumable;
+* :mod:`repro.robustness.supervisor` — crash-safe supervised sweep
+  execution (per-config timeouts, retry with exponential backoff,
+  dead-letter quarantine, worker replacement, serial degradation).
+  Imported lazily — ``from repro.robustness.supervisor import
+  supervised_sweep`` — because it pulls in the sweep/engine stack.
 
 See ``docs/ROBUSTNESS.md`` for the full contract.
 """
@@ -26,12 +36,23 @@ from repro.robustness.atomic import atomic_savez, atomic_write, atomic_write_tex
 from repro.robustness.errors import (
     ConfigError,
     ExhibitTimeout,
+    InjectedCrash,
+    InjectedFault,
     InternalError,
+    JournalError,
     ReproError,
     SimulationError,
+    SweepTimeout,
     TraceFormatError,
 )
-from repro.robustness.faults import FAULTS, inject_fault
+from repro.robustness.faults import (
+    FAULTS,
+    ProcessFaultPlan,
+    corrupt_cache_entries,
+    inject_fault,
+    tear_journal,
+)
+from repro.robustness.journal import SweepJournal, config_key
 from repro.robustness.validate import (
     validate_annotated,
     validate_archive_columns,
@@ -44,7 +65,11 @@ __all__ = [
     "ConfigError",
     "SimulationError",
     "ExhibitTimeout",
+    "SweepTimeout",
+    "JournalError",
     "InternalError",
+    "InjectedFault",
+    "InjectedCrash",
     "validate_trace",
     "validate_annotated",
     "validate_archive_columns",
@@ -53,4 +78,9 @@ __all__ = [
     "atomic_savez",
     "FAULTS",
     "inject_fault",
+    "ProcessFaultPlan",
+    "tear_journal",
+    "corrupt_cache_entries",
+    "SweepJournal",
+    "config_key",
 ]

@@ -15,7 +15,11 @@ Class                     Raised for
 :class:`ConfigError`      invalid machine or experiment configs
 :class:`SimulationError`  invalid simulator invocations
 :class:`ExhibitTimeout`   an exhibit exceeding its time budget
+:class:`SweepTimeout`     a sweep config exceeding its attempt budget
+:class:`JournalError`     a corrupt or mismatched sweep journal
 :class:`InternalError`    violated internal simulator invariants
+:class:`InjectedFault`    a worker fault injected by the chaos harness
+:class:`InjectedCrash`    a supervisor crash injected by the harness
 ========================  =====================================
 
 The ``error-hierarchy`` lint pass (``repro lint``) enforces that every
@@ -75,6 +79,49 @@ class SimulationError(ReproError, ValueError):
 
 class ExhibitTimeout(SimulationError):
     """An exhibit exceeded its per-exhibit wall-clock budget."""
+
+
+class SweepTimeout(SimulationError):
+    """One sweep configuration exceeded its per-attempt time budget.
+
+    Raised (serial backend) or recorded as an attempt failure (pool
+    backend) by the supervised sweep layer; the supervisor retries the
+    configuration with backoff and quarantines it when the attempt
+    budget is exhausted.
+    """
+
+
+class JournalError(ReproError, ValueError):
+    """A sweep journal is unusable for resumption.
+
+    Raised for a journal whose metadata names a different sweep than
+    the one being resumed (wrong workload, seed or trace length), for
+    corruption anywhere except the final — possibly torn — record, and
+    for results that cannot be journalled (epoch records attached).
+    A *torn tail* is never an error: the last record of a journal cut
+    short by a crash is silently discarded on replay.
+    """
+
+
+class InjectedFault(SimulationError):
+    """A deliberate worker-level failure from the chaos harness.
+
+    The process-fault plan (``repro.robustness.faults.ProcessFaultPlan``)
+    raises this inside a sweep worker for ``fail:`` entries; the
+    supervisor must treat it exactly like any organic worker failure
+    (retry, back off, quarantine).
+    """
+
+
+class InjectedCrash(ReproError, RuntimeError):
+    """A deliberate parent-process crash from the chaos harness.
+
+    Raised in the *supervisor* process by ``crash-journal:`` fault-plan
+    entries, after a torn journal record has been flushed — modelling a
+    SIGKILL of the whole sweep mid-journal-write.  It deliberately does
+    not inherit :class:`ValueError`: nothing in the library may catch
+    and absorb it, so it propagates like the crash it simulates.
+    """
 
 
 class InternalError(ReproError, RuntimeError):

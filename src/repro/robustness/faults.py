@@ -1,23 +1,37 @@
-"""Deterministic fault injection for trace/annotation archives.
+"""Deterministic fault injection: data corruption and process faults.
 
-Each fault takes a valid ``.npz`` archive on disk and rewrites it with
-one controlled corruption; the test suite then proves that every
-loader rejects the damaged file with a diagnostic
-:class:`~repro.robustness.errors.ReproError` instead of crashing with
-a raw traceback or — worse — silently loading wrong data and emitting
-wrong MLP numbers.  All faults are pure functions of the input file
-(no randomness), so failures reproduce exactly.
+**Data-corruption faults** (PR 1) take a valid ``.npz`` archive on
+disk and rewrite it with one controlled corruption; the test suite
+then proves that every loader rejects the damaged file with a
+diagnostic :class:`~repro.robustness.errors.ReproError` instead of
+crashing with a raw traceback or — worse — silently loading wrong data
+and emitting wrong MLP numbers.  The registry :data:`FAULTS` maps
+fault names to injector callables; :func:`inject_fault` dispatches by
+name.  Injectors that rewrite the archive go through
+:mod:`repro.robustness.atomic`, so a fault file is itself always
+completely written.
 
-The registry :data:`FAULTS` maps fault names to injector callables;
-:func:`inject_fault` dispatches by name.  Injectors that rewrite the
-archive go through :mod:`repro.robustness.atomic`, so a fault file is
-itself always completely written.
+**Process-level faults** extend the harness to the supervised sweep
+layer: a :class:`ProcessFaultPlan` (parsed from a spec string or the
+``REPRO_PROCESS_FAULTS`` environment variable) deterministically
+kills a sweep worker with SIGKILL at a named configuration, hangs it,
+raises an injected failure, or crashes the supervisor itself mid-
+journal-write.  The chaos suite (``tests/test_chaos.py``) uses these
+to prove that a sweep under injected process faults finishes with
+results bit-identical to a clean serial run.  All faults are pure
+functions of their spec (no randomness), so failures reproduce
+exactly.
 """
+
+import dataclasses
+import os
+import signal
+import time
 
 import numpy as np
 
 from repro.robustness.atomic import atomic_savez, atomic_write
-from repro.robustness.errors import ConfigError
+from repro.robustness.errors import ConfigError, InjectedFault
 
 #: Version key used by the trace/annotation archive format.
 _VERSION_KEY = "__version__"
@@ -139,3 +153,170 @@ def inject_fault(path, fault, **options):
             field=fault,
         ) from None
     injector(path, **options)
+
+
+# ---------------------------------------------------------------------
+# Process-level faults (sweep supervision chaos harness)
+# ---------------------------------------------------------------------
+
+#: Fault kinds a :class:`ProcessFaultPlan` understands.
+PROCESS_FAULT_KINDS = ("kill", "hang", "fail", "crash-journal")
+
+#: How long a hung worker sleeps; the supervisor's per-config timeout
+#: is expected to SIGKILL it (pool) or SIGALRM out of it (serial) long
+#: before this elapses.
+_HANG_SECONDS = 3600.0
+
+#: Environment variable carrying the default fault spec.
+FAULT_ENV = "REPRO_PROCESS_FAULTS"
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessFaultPlan:
+    """A deterministic schedule of process-level faults.
+
+    A plan is parsed from a whitespace/comma-separated spec of
+    ``kind:label[@attempt]`` entries, e.g.::
+
+        "kill:64A@1 hang:64C@1 crash-journal:64E@1 fail:128C"
+
+    * ``kill`` — the worker running *label* SIGKILLs itself before
+      simulating (models an OOM kill);
+    * ``hang`` — the worker sleeps instead of simulating (models a
+      livelocked or far-memory-stalled config);
+    * ``fail`` — the worker raises :class:`InjectedFault` (an organic
+      in-worker exception; also honoured by the serial backend);
+    * ``crash-journal`` — the *supervisor* tears the journal record for
+      *label* mid-write and dies (models a crash of the whole sweep).
+
+    ``@attempt`` scopes an entry to one attempt number (1-based);
+    omitting it fires the fault on every attempt — a poison config the
+    supervisor must quarantine.  The plan is carried as its canonical
+    spec string so it crosses process boundaries under any start
+    method.
+    """
+
+    spec: str = ""
+    entries: tuple = ()
+
+    @classmethod
+    def parse(cls, spec):
+        """Parse a spec string (empty or ``None`` → the empty plan)."""
+        entries = []
+        for part in (spec or "").replace(",", " ").split():
+            kind, _, rest = part.partition(":")
+            if kind not in PROCESS_FAULT_KINDS or not rest:
+                raise ConfigError(
+                    f"bad process-fault entry {part!r}; expected"
+                    f" kind:label[@attempt] with kind one of"
+                    f" {PROCESS_FAULT_KINDS}",
+                    field=part,
+                )
+            label, _, attempt = rest.partition("@")
+            if attempt:
+                try:
+                    attempt = int(attempt)
+                except ValueError:
+                    raise ConfigError(
+                        f"bad process-fault entry {part!r}: attempt"
+                        f" {attempt!r} is not an integer",
+                        field=part,
+                    ) from None
+            else:
+                attempt = None
+            entries.append((kind, label, attempt))
+        canonical = " ".join(
+            f"{kind}:{label}" + (f"@{attempt}" if attempt else "")
+            for kind, label, attempt in entries
+        )
+        return cls(spec=canonical, entries=tuple(entries))
+
+    @classmethod
+    def from_env(cls):
+        """The plan named by ``REPRO_PROCESS_FAULTS`` (usually empty)."""
+        return cls.parse(os.environ.get(FAULT_ENV, ""))
+
+    @property
+    def empty(self):
+        return not self.entries
+
+    def _matches(self, kind, label, attempt):
+        return any(
+            entry_kind == kind and entry_label == label
+            and (entry_attempt is None or entry_attempt == attempt)
+            for entry_kind, entry_label, entry_attempt in self.entries
+        )
+
+    def should_crash_journal(self, label, attempt):
+        """True when the supervisor must die journalling this record."""
+        return self._matches("crash-journal", label, attempt)
+
+    def apply_in_worker(self, label, attempt):
+        """Fire any worker-scoped fault for (*label*, *attempt*).
+
+        Called inside a sweep worker process right before simulating.
+        ``kill`` entries SIGKILL the worker (no cleanup, like the OOM
+        killer); ``hang`` entries sleep far past any sane per-config
+        timeout; ``fail`` entries raise :class:`InjectedFault`.
+        """
+        if self._matches("kill", label, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self._matches("hang", label, attempt):
+            time.sleep(_HANG_SECONDS)
+        if self._matches("fail", label, attempt):
+            raise InjectedFault(
+                f"injected worker fault for config {label!r}"
+                f" (attempt {attempt})",
+                field=label,
+            )
+
+    def apply_serial(self, label, attempt):
+        """Fire faults for the serial backend (which *is* the parent).
+
+        ``kill`` entries are skipped — SIGKILLing the serial backend
+        would kill the supervisor itself, which is what
+        ``crash-journal`` models explicitly; ``hang`` and ``fail``
+        behave as in workers (the serial per-config SIGALRM deadline
+        recovers the hang).
+        """
+        if self._matches("hang", label, attempt):
+            time.sleep(_HANG_SECONDS)
+        if self._matches("fail", label, attempt):
+            raise InjectedFault(
+                f"injected worker fault for config {label!r}"
+                f" (attempt {attempt})",
+                field=label,
+            )
+
+
+def tear_journal(path, drop_bytes=16):
+    """Cut the final *drop_bytes* bytes off a sweep journal.
+
+    Models a supervisor crash mid-journal-write from the *outside* (the
+    in-process variant is a ``crash-journal`` plan entry): the final
+    record loses its tail, and replay must discard exactly that record
+    and nothing else.
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    keep = max(1, len(raw) - int(drop_bytes))
+    with atomic_write(path, "wb") as handle:
+        handle.write(raw[:keep])
+
+
+def corrupt_cache_entries(directory, fault="truncate"):
+    """Apply *fault* to every annotation archive in a disk cache dir.
+
+    Returns the paths corrupted.  The chaos suite uses this to prove
+    the annotation cache quarantines damage and regenerates instead of
+    crashing or silently reusing bad data.
+    """
+    corrupted = []
+    if not os.path.isdir(directory):
+        return corrupted
+    for entry in sorted(os.listdir(directory)):
+        if entry.startswith("annotated-") and entry.endswith(".npz"):
+            path = os.path.join(directory, entry)
+            inject_fault(path, fault)
+            corrupted.append(path)
+    return corrupted

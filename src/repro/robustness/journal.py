@@ -1,0 +1,333 @@
+"""Append-only sweep journal: crash-safe checkpointing for sweeps.
+
+A supervised sweep (:mod:`repro.robustness.supervisor`) records every
+dispatch, completion, failure and quarantine decision in a JSON-lines
+journal.  The journal is the sweep's write-ahead log: each record is
+one ``json.dumps`` line appended, flushed and fsynced before the
+supervisor acts on it, so after a crash — of a worker, of the
+supervisor itself, or of the whole machine — replaying the journal
+reconstructs exactly which configurations finished and which must run
+again.
+
+Crash model.  A record is either fully durable or it is the *torn
+tail*: the final line of the file, cut short mid-write.  Replay
+silently discards a torn tail (that attempt simply re-executes);
+corruption anywhere earlier means the file is not one of our journals
+and raises :class:`~repro.robustness.errors.JournalError`.  Because
+results restored from the journal are JSON round-trips of
+:class:`~repro.core.results.MLPResult` (ints and shortest-repr floats,
+both of which round-trip exactly), a resumed sweep is bit-identical to
+one that ran straight through.
+
+Record types::
+
+    {"type": "meta", "version": 1, "workload": ..., "seed": ...,
+     "trace_len": ...}
+    {"type": "attempt", "key": ..., "label": ..., "attempt": N}
+    {"type": "result", "key": ..., "label": ..., "attempt": N,
+     "elapsed": S, "result": {...}}
+    {"type": "failure", "key": ..., "label": ..., "attempt": N,
+     "elapsed": S, "error": "..."}
+    {"type": "quarantine", "key": ..., "label": ..., "attempts": N,
+     "error": "..."}
+
+``key`` is :func:`config_key`: the SHA-256 content hash of
+``(workload, seed, trace_len, machine-config)``, so a journal entry
+survives label renames and never matches a different grid point.
+"""
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+
+from repro.core.results import MLPResult
+from repro.core.termination import InhibitorCounts
+from repro.robustness.errors import InjectedCrash, JournalError
+
+#: Journal format version; bump on incompatible schema changes.
+JOURNAL_VERSION = 1
+
+#: MLPResult fields journalled verbatim (ints and strings).
+_RESULT_SCALARS = (
+    "workload", "machine_label", "instructions", "accesses", "epochs",
+    "dmiss_accesses", "imiss_accesses", "prefetch_accesses",
+    "store_accesses", "store_epochs",
+)
+
+
+def _canonical(value):
+    """Project *value* onto JSON-stable primitives, recursively.
+
+    Dataclasses become sorted field dicts, enums their ``name`` — the
+    canonical form feeding :func:`config_key`, so two equal machine
+    configurations always hash identically.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _canonical(val) for key, val in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise JournalError(
+        f"cannot canonicalise {type(value).__name__} for a config key",
+        field=type(value).__name__,
+    )
+
+
+def config_key(workload, seed, trace_len, machine):
+    """Content hash identifying one grid point of one sweep.
+
+    The key is a pure function of what determines the simulation's
+    output — the workload identity ``(workload, seed, trace_len)`` and
+    the full machine configuration — so journal entries are immune to
+    label renames and grid reordering.
+    """
+    blob = json.dumps(
+        {
+            "workload": workload,
+            "seed": seed,
+            "trace_len": trace_len,
+            "machine": _canonical(machine),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def result_to_payload(result):
+    """Project an :class:`MLPResult` onto a JSON-safe dict.
+
+    Raises
+    ------
+    JournalError
+        If the result carries ``epoch_records`` (per-epoch member sets
+        from ``record_sets=True`` runs) — those are debugging payloads
+        a sweep never produces and the journal does not persist.
+    """
+    if result.epoch_records is not None:
+        raise JournalError(
+            "results with epoch_records cannot be journalled"
+            " (sweeps never record epoch sets)",
+            field="epoch_records",
+        )
+    payload = {name: getattr(result, name) for name in _RESULT_SCALARS}
+    payload["inhibitors"] = {
+        inhibitor.value: count
+        for inhibitor, count in result.inhibitors.as_dict().items()
+    }
+    return payload
+
+
+def result_from_payload(payload):
+    """Rebuild the exact :class:`MLPResult` a payload came from."""
+    try:
+        scalars = {name: payload[name] for name in _RESULT_SCALARS}
+        inhibitors = InhibitorCounts.from_dict(payload["inhibitors"])
+    except (KeyError, TypeError) as exc:
+        raise JournalError(
+            f"journalled result is missing field {exc}", field="result"
+        ) from None
+    return MLPResult(inhibitors=inhibitors, epoch_records=None, **scalars)
+
+
+@dataclasses.dataclass
+class JournalState:
+    """Everything replay reconstructs from a journal file."""
+
+    meta: dict
+    results: dict = dataclasses.field(default_factory=dict)
+    #: key -> result payload (JSON dict; decode with result_from_payload)
+    attempts: dict = dataclasses.field(default_factory=dict)
+    #: key -> highest attempt number journalled (dispatched or finished)
+    quarantined: dict = dataclasses.field(default_factory=dict)
+    #: key -> {"label", "attempts", "error"} dead-letter records
+    labels: dict = dataclasses.field(default_factory=dict)
+    #: key -> last label seen (diagnostics only; keys are authoritative)
+    torn_tail: bool = False
+    #: True when the final record was cut short and discarded
+
+    def finished(self, key):
+        """A finished key needs no re-execution on resume."""
+        return key in self.results or key in self.quarantined
+
+
+class SweepJournal:
+    """Appender/replayer for one sweep journal file.
+
+    Appends open the file per record (``"a"``), write one complete
+    line, flush and fsync: the journal survives any crash with at most
+    one torn trailing record.  The optional :attr:`tear_hook` is the
+    chaos harness's entry point — when it returns true for a record,
+    the journal writes only a prefix of the line and raises
+    :class:`~repro.robustness.errors.InjectedCrash`, simulating the
+    supervisor dying mid-write.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self.tear_hook = None
+
+    # -- writing ------------------------------------------------------
+
+    def _append(self, record):
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        torn = self.tear_hook is not None and self.tear_hook(record)
+        data = line[: max(1, len(line) // 2)] if torn else line + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if torn:
+            raise InjectedCrash(
+                "injected supervisor crash mid-journal-write"
+                f" (record type {record.get('type')!r},"
+                f" label {record.get('label')!r})",
+                path=self.path,
+                field=record.get("label"),
+            )
+
+    def initialize(self, workload, seed, trace_len):
+        """Start a fresh journal (truncating any previous file)."""
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._append({
+            "type": "meta",
+            "version": JOURNAL_VERSION,
+            "workload": workload,
+            "seed": seed,
+            "trace_len": trace_len,
+        })
+
+    def record_attempt(self, key, label, attempt):
+        """Journal the dispatch of attempt *attempt* for config *key*."""
+        self._append({
+            "type": "attempt", "key": key, "label": label,
+            "attempt": attempt,
+        })
+
+    def record_result(self, key, label, attempt, elapsed, result):
+        """Journal a completed config with its full result payload."""
+        self._append({
+            "type": "result", "key": key, "label": label,
+            "attempt": attempt, "elapsed": elapsed,
+            "result": result_to_payload(result),
+        })
+
+    def record_failure(self, key, label, attempt, elapsed, error):
+        """Journal one failed attempt (the config may still retry)."""
+        self._append({
+            "type": "failure", "key": key, "label": label,
+            "attempt": attempt, "elapsed": elapsed, "error": str(error),
+        })
+
+    def record_quarantine(self, key, label, attempts, error):
+        """Journal the dead-letter decision for a poison config."""
+        self._append({
+            "type": "quarantine", "key": key, "label": label,
+            "attempts": attempts, "error": str(error),
+        })
+
+    # -- replaying ----------------------------------------------------
+
+    def replay(self):
+        """Reconstruct :class:`JournalState` from the file on disk.
+
+        Raises
+        ------
+        JournalError
+            If the file does not start with a matching meta record or
+            any record *before the tail* fails to parse.  A torn tail
+            is discarded, not raised.
+        """
+        with open(self.path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        lines = raw.split("\n")
+        torn = False
+        if lines and lines[-1] == "":
+            lines.pop()  # cleanly terminated final record
+        elif lines:
+            lines.pop()  # unterminated: a torn trailing record
+            torn = True
+        records = []
+        for index, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                if index == len(lines) - 1:
+                    torn = True  # torn mid-line, newline already present
+                    break
+                raise JournalError(
+                    f"corrupt journal record at line {index + 1}",
+                    path=self.path,
+                ) from None
+        if not records or records[0].get("type") != "meta":
+            raise JournalError(
+                "not a sweep journal (no meta record)", path=self.path
+            )
+        meta = records[0]
+        if meta.get("version") != JOURNAL_VERSION:
+            raise JournalError(
+                f"journal version {meta.get('version')!r} is not the"
+                f" supported version {JOURNAL_VERSION}",
+                path=self.path, field="version",
+            )
+        state = JournalState(meta=meta, torn_tail=torn)
+        for record in records[1:]:
+            kind = record.get("type")
+            key = record.get("key")
+            if key is None:
+                continue
+            state.labels[key] = record.get("label")
+            if kind == "attempt":
+                attempt = int(record.get("attempt", 0))
+                state.attempts[key] = max(state.attempts.get(key, 0), attempt)
+            elif kind == "result":
+                state.results[key] = record["result"]
+                attempt = int(record.get("attempt", 0))
+                state.attempts[key] = max(state.attempts.get(key, 0), attempt)
+            elif kind == "failure":
+                attempt = int(record.get("attempt", 0))
+                state.attempts[key] = max(state.attempts.get(key, 0), attempt)
+            elif kind == "quarantine":
+                state.quarantined[key] = {
+                    "label": record.get("label"),
+                    "attempts": int(record.get("attempts", 0)),
+                    "error": record.get("error", ""),
+                }
+        return state
+
+    def check_meta(self, workload, seed, trace_len, state=None):
+        """Verify a replayed journal belongs to this sweep.
+
+        Raises :class:`JournalError` naming the mismatched field, so a
+        ``--resume`` against the wrong journal fails loudly instead of
+        silently skipping configurations that never ran.
+        """
+        state = state if state is not None else self.replay()
+        expected = {
+            "workload": workload, "seed": seed, "trace_len": trace_len,
+        }
+        for field, value in expected.items():
+            found = state.meta.get(field)
+            if found != value:
+                raise JournalError(
+                    f"journal was recorded for {field}={found!r}, but"
+                    f" this sweep has {field}={value!r}; refusing to"
+                    " resume from the wrong journal",
+                    path=self.path, field=field,
+                )
+        return state

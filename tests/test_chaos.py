@@ -1,0 +1,238 @@
+"""Process-level chaos tests for supervised sweeps.
+
+Each test injects a deterministic process fault — a SIGKILLed pool
+worker, a hung config, a supervisor crash mid-journal-write, a
+corrupted disk-cache entry — and proves the supervised sweep still
+produces results *bit-identical* to a clean serial run.  That is the
+central robustness claim of ``repro.robustness.supervisor``: because
+MLPsim is a pure function of ``(annotated, machine)``, no amount of
+retrying, worker replacement, serial degradation or journal resume may
+change a single field of a single result.
+
+Journals are written under ``REPRO_CHAOS_JOURNAL_DIR`` when set (CI
+uploads that directory as an artifact on failure) and the pytest tmp
+path otherwise.
+"""
+
+import dataclasses
+import logging
+import os
+
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.core.config import MachineConfig
+from repro.robustness.errors import InjectedCrash
+from repro.robustness.faults import ProcessFaultPlan, corrupt_cache_entries
+from repro.robustness.supervisor import SupervisorPolicy, supervised_sweep
+
+GRID_SPECS = ("16A", "64C", "64E", "128C")
+
+#: Fast retries so chaos runs stay quick; a real campaign would use the
+#: default half-second base.
+POLICY = SupervisorPolicy(
+    max_retries=2, backoff_base=0.01, config_timeout=60.0
+)
+
+
+def _grid():
+    return [(spec, MachineConfig.named(spec)) for spec in GRID_SPECS]
+
+
+def _result_fields(result):
+    fields = dataclasses.asdict(result)
+    fields["inhibitors"] = result.inhibitors.as_dict()
+    return fields
+
+
+@pytest.fixture(scope="module")
+def chaos_annotated():
+    """Small trace: chaos tests re-simulate configs across processes."""
+    from repro.trace.annotate import annotate
+    from repro.workloads import generate_trace
+
+    return annotate(generate_trace("specjbb2000", 12_000))
+
+
+@pytest.fixture(scope="module")
+def clean_serial(chaos_annotated):
+    """The fault-free serial sweep every chaos run must reproduce."""
+    return sweep(chaos_annotated, _grid(), jobs=1)
+
+
+@pytest.fixture
+def journal_dir(tmp_path):
+    """Journal location; CI points this at an artifact directory."""
+    override = os.environ.get("REPRO_CHAOS_JOURNAL_DIR")
+    if override:
+        os.makedirs(override, exist_ok=True)
+        return override
+    return str(tmp_path)
+
+
+def _assert_bit_identical(supervised, baseline):
+    assert supervised.labels() == baseline.labels()
+    for label in baseline.labels():
+        assert _result_fields(supervised.results[label]) == \
+            _result_fields(baseline.results[label]), label
+
+
+class TestPoolWorkerDeath:
+    def test_sigkilled_worker_is_replaced(self, chaos_annotated,
+                                          clean_serial, journal_dir):
+        """SIGKILL one worker mid-sweep: the grid must still finish,
+        bit-identical to serial, with the death visible in the stats."""
+        result = supervised_sweep(
+            chaos_annotated, _grid(), seed=1234, jobs=2,
+            journal_path=os.path.join(journal_dir, "kill.jsonl"),
+            policy=POLICY,
+            fault_plan=ProcessFaultPlan.parse("kill:64C@1"),
+        )
+        assert result.complete
+        assert result.worker_replacements >= 1
+        _assert_bit_identical(result, clean_serial)
+
+    def test_hung_worker_is_killed_and_retried(self, chaos_annotated,
+                                               clean_serial, journal_dir):
+        policy = SupervisorPolicy(
+            max_retries=2, backoff_base=0.01, config_timeout=1.5
+        )
+        result = supervised_sweep(
+            chaos_annotated, _grid(), seed=1234, jobs=2,
+            journal_path=os.path.join(journal_dir, "hang.jsonl"),
+            policy=policy,
+            fault_plan=ProcessFaultPlan.parse("hang:64E@1"),
+        )
+        assert result.complete
+        assert result.worker_replacements >= 1
+        # Retried successfully after the timeout kill, not quarantined.
+        assert result.quarantined == []
+        _assert_bit_identical(result, clean_serial)
+
+    def test_collapsing_pool_degrades_to_serial(self, chaos_annotated,
+                                                clean_serial, journal_dir):
+        """With zero tolerance for worker deaths, the first SIGKILL
+        must hand the remaining grid to the serial backend — and the
+        results still match."""
+        policy = SupervisorPolicy(
+            max_retries=2, backoff_base=0.01, config_timeout=60.0,
+            pool_failure_limit=0,
+        )
+        result = supervised_sweep(
+            chaos_annotated, _grid(), seed=1234, jobs=2,
+            journal_path=os.path.join(journal_dir, "degrade.jsonl"),
+            policy=policy,
+            fault_plan=ProcessFaultPlan.parse("kill:16A@1"),
+        )
+        assert result.complete
+        assert result.degraded_to_serial
+        assert result.worker_replacements == 1
+        _assert_bit_identical(result, clean_serial)
+
+    def test_pool_quarantines_poison_config(self, chaos_annotated,
+                                            clean_serial, journal_dir):
+        """A config that kills its worker on every attempt is dead-
+        lettered; the rest of the grid completes bit-identical."""
+        result = supervised_sweep(
+            chaos_annotated, _grid(), seed=1234, jobs=2,
+            journal_path=os.path.join(journal_dir, "poison.jsonl"),
+            policy=POLICY,
+            fault_plan=ProcessFaultPlan.parse("kill:64C"),
+        )
+        assert not result.complete
+        assert [q.label for q in result.quarantined] == ["64C"]
+        assert result.worker_replacements == POLICY.attempts_allowed
+        survivors = [s for s in GRID_SPECS if s != "64C"]
+        assert result.labels() == survivors
+        for label in survivors:
+            assert _result_fields(result.results[label]) == \
+                _result_fields(clean_serial.results[label]), label
+
+
+class TestCrashResumeEquivalence:
+    def test_faulted_resumed_sweep_matches_clean_serial(
+            self, chaos_annotated, clean_serial, journal_dir):
+        """The headline chaos scenario: a pool sweep suffers a worker
+        SIGKILL, a hung config *and* a supervisor crash mid-journal-
+        write; resuming completes the grid bit-identical to a clean
+        serial run, re-executing only what the journal lost."""
+        journal_path = os.path.join(journal_dir, "combined.jsonl")
+        policy = SupervisorPolicy(
+            max_retries=2, backoff_base=0.01, config_timeout=1.5
+        )
+        plan = ProcessFaultPlan.parse(
+            "kill:16A@1 hang:64C@1 crash-journal:64E@1"
+        )
+        with pytest.raises(InjectedCrash):
+            supervised_sweep(
+                chaos_annotated, _grid(), seed=1234, jobs=2,
+                journal_path=journal_path, policy=policy, fault_plan=plan,
+            )
+        resumed = supervised_sweep(
+            chaos_annotated, _grid(), seed=1234, jobs=2,
+            journal_path=journal_path, resume=True, policy=policy,
+        )
+        assert resumed.complete
+        # The crash hit a result record, so at least that config (and
+        # anything not yet journalled) re-executes; everything restored
+        # plus everything re-run covers the grid exactly.  (How many
+        # results were durable before the crash depends on pool
+        # completion order, so only the split's total is asserted.)
+        assert resumed.resumed + resumed.executed == len(GRID_SPECS)
+        assert resumed.executed >= 1
+        _assert_bit_identical(resumed, clean_serial)
+
+    def test_interrupted_serial_sweep_resumes_incrementally(
+            self, chaos_annotated, clean_serial, journal_dir):
+        """Kill the supervisor after two configs; ``--resume`` restores
+        them from the journal and runs only the remaining two."""
+        journal_path = os.path.join(journal_dir, "interrupt.jsonl")
+        with pytest.raises(InjectedCrash):
+            supervised_sweep(
+                chaos_annotated, _grid(), seed=1234, jobs=1,
+                journal_path=journal_path, policy=POLICY,
+                fault_plan=ProcessFaultPlan.parse("crash-journal:64E@1"),
+            )
+        resumed = supervised_sweep(
+            chaos_annotated, _grid(), seed=1234, jobs=1,
+            journal_path=journal_path, resume=True, policy=POLICY,
+        )
+        assert resumed.resumed == 2 and resumed.executed == 2
+        _assert_bit_identical(resumed, clean_serial)
+
+
+class TestCacheCorruption:
+    def test_corrupt_cache_entry_quarantined_and_regenerated(
+            self, tmp_path, monkeypatch, caplog):
+        """A damaged disk-cache archive must be moved to quarantine/
+        with a logged warning, then transparently regenerated."""
+        from repro.experiments import common
+
+        cache = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        common.clear_caches()
+        first = common.get_annotated("specjbb2000", trace_len=8_000)
+        archives = [
+            entry for entry in os.listdir(cache)
+            if entry.startswith("annotated-")
+        ]
+        assert archives, "sweep should have spilled a cache entry"
+
+        corrupted = corrupt_cache_entries(str(cache), fault="truncate")
+        assert corrupted
+        common.clear_caches()  # force the disk-cache read path
+        with caplog.at_level(logging.WARNING, logger="repro.cache"):
+            again = common.get_annotated("specjbb2000", trace_len=8_000)
+
+        # Regenerated, not crashed — and identical to the original.
+        assert (again.trace.addr == first.trace.addr).all()
+        # The damaged file moved to the quarantine dir (the fresh
+        # regeneration then re-spills a clean archive at the old path).
+        quarantine = cache / common.QUARANTINE_DIRNAME
+        assert quarantine.is_dir()
+        assert archives[0] in os.listdir(quarantine)
+        assert any(
+            "corrupt annotation cache entry" in record.message
+            for record in caplog.records
+        )
+        common.clear_caches()

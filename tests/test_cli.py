@@ -115,6 +115,90 @@ class TestCommands:
             main(["simulate", "database", "-n", "5000", "-m", "64Z"])
 
 
+class TestSweepCommand:
+    WORKLOAD_ARGS = ["specjbb2000", "-n", "8000", "--seed", "7"]
+
+    def test_sweep_explicit_machines(self, capsys):
+        code = main(
+            ["sweep", *self.WORKLOAD_ARGS, "-m", "16A", "-m", "64C"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "16A" in out and "64C" in out and "MLP=" in out
+
+    def test_sweep_journal_and_resume(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        args = ["sweep", *self.WORKLOAD_ARGS, "-m", "16A", "-m", "64C",
+                "--journal", journal]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main([*args, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed 2 config(s)" in second
+        # Restored results render identically to the executed ones.
+        assert [line for line in first.splitlines() if "MLP=" in line] \
+            == [line for line in second.splitlines() if "MLP=" in line]
+
+    def test_sweep_window_policy_grid(self, capsys):
+        code = main(
+            ["sweep", *self.WORKLOAD_ARGS,
+             "--windows", "16,32", "--policies", "A,C"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for label in ("16A", "16C", "32A", "32C"):
+            assert label in out
+
+    def test_resume_requires_journal(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", *self.WORKLOAD_ARGS, "--resume"])
+        assert excinfo.value.code == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_bad_jobs_argument_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", *self.WORKLOAD_ARGS, "--jobs", "lots"])
+        assert excinfo.value.code == 2
+
+    def test_bad_jobs_env_var_exits_2_with_one_line(self, monkeypatch,
+                                                    capsys):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", *self.WORKLOAD_ARGS])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err.strip()
+        assert len(err.splitlines()) == 1
+        assert "REPRO_JOBS" in err
+
+    def test_bad_jobs_env_var_fails_exhibit_eagerly(self, monkeypatch,
+                                                    capsys):
+        """`repro exhibit` must reject a junk REPRO_JOBS up front with
+        exit code 2, not fail-soft per exhibit deep in the batch."""
+        monkeypatch.setenv("REPRO_JOBS", "nope")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["exhibit", "table5", "-n", "8000"])
+        assert excinfo.value.code == 2
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+    def test_bad_windows_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", *self.WORKLOAD_ARGS, "--windows", "16,huge"])
+        assert excinfo.value.code == 2
+
+    def test_quarantine_reported_and_exit_1(self, monkeypatch, capsys):
+        """A poison config leaves the sweep fail-soft: results print,
+        the quarantine is reported, and the exit code flags it."""
+        monkeypatch.setenv("REPRO_PROCESS_FAULTS", "fail:16A")
+        code = main(
+            ["sweep", *self.WORKLOAD_ARGS, "-m", "16A", "-m", "64C",
+             "--backoff", "0.01"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert "64C" in out  # the healthy config still completed
+
+
 class TestInspect:
     def test_inspect_prints_epochs(self, capsys):
         from repro.cli import main

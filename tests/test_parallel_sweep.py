@@ -78,6 +78,34 @@ class TestWorkerFailure:
             sweep(specjbb_annotated, grid, jobs=4)
         assert "broken-config" in str(excinfo.value)
         assert excinfo.value.field == "broken-config"
+        # Failure diagnostics carry the attempt count and elapsed time,
+        # so a one-line message places the failure in a long campaign.
+        assert "attempt 1" in str(excinfo.value)
+        assert "after " in str(excinfo.value)
+
+    def test_spawn_spill_path(self, specjbb_annotated, monkeypatch):
+        """Forkless platforms spill the trace to a .npz the workers
+        load; the results must still match serial (regression: the
+        spill used to call save_annotated with swapped arguments)."""
+        import multiprocessing
+
+        real_get_context = multiprocessing.get_context
+
+        def no_fork(method=None):
+            if method == "fork":
+                # Mimics multiprocessing's own missing-start-method error.
+                raise ValueError("cannot find context for 'fork'")  # reprolint: disable=error-hierarchy
+            return real_get_context(method)
+
+        monkeypatch.setattr(
+            parallel.multiprocessing, "get_context", no_fork
+        )
+        grid = _grid()[:2]
+        serial = sweep(specjbb_annotated, grid, jobs=1)
+        spawned = sweep(specjbb_annotated, grid, jobs=2)
+        for label in serial.labels():
+            assert _result_fields(spawned.results[label]) == \
+                _result_fields(serial.results[label])
 
     def test_serial_fallback_when_no_pool(self, specjbb_annotated,
                                           monkeypatch):
