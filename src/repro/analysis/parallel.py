@@ -26,12 +26,24 @@ restricted environment degrades to correct (if slower) behaviour.
 """
 
 import concurrent.futures
+import math
 import multiprocessing
 import os
 import tempfile
 import time
 
 from repro.robustness.errors import ConfigError, SimulationError
+
+#: Minimum estimated *remaining* sweep seconds before a process pool is
+#: worth spinning up; below it the auto cutover runs serially.  Pool
+#: creation plus per-task IPC costs a few hundred milliseconds, so a
+#: sweep that measures cheaper than this can only lose by going wide.
+SERIAL_CUTOVER_SECONDS = 1.0
+
+#: Target wall-clock per sharded chunk of a batched parallel sweep.
+#: Chunks much smaller than this drown in IPC; much bigger ones starve
+#: the tail workers and coarsen journal flushes.
+CHUNK_TARGET_SECONDS = 0.25
 
 #: Annotated trace shared with workers.  Under the fork start method the
 #: parent sets it right before creating the pool and clears it after the
@@ -161,6 +173,234 @@ def _make_pool(annotated, jobs):
     except (OSError, ValueError):
         unshare_annotated(spill_path)
         return None, None
+
+
+def effective_cpus():
+    """CPUs the scheduler will actually give us (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def serial_cutover(n_jobs, n_pairs, per_config_seconds=None):
+    """Should a ``jobs=N`` sweep fall back to the serial backend?
+
+    The cutover triggers when parallelism cannot pay for its own
+    overhead: a single effective CPU (process pools only add IPC to
+    CPU-bound simulation), a grid smaller than two configs, or —
+    when a measured *per_config_seconds* is available — an estimated
+    remaining runtime under :data:`SERIAL_CUTOVER_SECONDS`.  This is
+    what keeps ``jobs=4`` from ever being slower than ``jobs=1`` on
+    small grids and keeps single-core scaling at ~1.0.
+    """
+    if n_jobs <= 1 or n_pairs <= 1:
+        return True
+    if effective_cpus() <= 1:
+        return True
+    if per_config_seconds is not None:
+        return per_config_seconds * n_pairs < SERIAL_CUTOVER_SECONDS
+    return False
+
+
+def serial_sweep_results(annotated, pairs, workload, progress):
+    """The serial-cutover backend: in-process, but with the parallel
+    backend's error contract (label-carrying :class:`SimulationError`
+    with attempt count and elapsed time), so ``jobs=N`` keeps one
+    failure surface whichever backend the cutover picks.
+    """
+    from repro.core.mlpsim import simulate
+
+    started = time.monotonic()
+    results = {}
+    for label, machine in pairs:
+        try:
+            results[label] = simulate(annotated, machine, workload=workload)
+        except Exception as exc:
+            elapsed = time.monotonic() - started
+            raise SimulationError(
+                f"sweep config {label!r} failed"
+                f" (attempt 1, after {elapsed:.1f}s): {exc}",
+                field=label,
+            ) from exc
+        if progress is not None:
+            progress(label)
+    return results
+
+
+def measure_config_cost(run_one):
+    """Time one configuration; returns ``(result, seconds)``.
+
+    The measurement doubles as real work — the caller merges the
+    result instead of re-running the config — so the cutover estimate
+    is free.
+    """
+    started = time.perf_counter()
+    result = run_one()
+    return result, time.perf_counter() - started
+
+
+def shard_pairs(pairs, per_config_seconds, jobs):
+    """Split *pairs* into chunks sized by measured per-config cost.
+
+    Each chunk aims for :data:`CHUNK_TARGET_SECONDS` of kernel time but
+    never exceeds an even ``len(pairs) / jobs`` split, so every worker
+    gets work even when configs are expensive, and cheap configs are
+    batched into few kernel calls instead of thousands of tasks.
+    """
+    if not pairs:
+        return []
+    cost = max(per_config_seconds, 1e-6)
+    by_cost = max(1, int(CHUNK_TARGET_SECONDS / cost))
+    by_balance = math.ceil(len(pairs) / max(jobs, 1))
+    chunk = max(1, min(by_cost, by_balance))
+    return [pairs[i:i + chunk] for i in range(0, len(pairs), chunk)]
+
+
+def _run_plan_chunk(handle, chunk, workload):
+    """Worker: attach the shared plan and run one chunk of configs.
+
+    The compiled kernel (or the NumPy fallback engine) reads its
+    columns straight out of the shared mapping — the only pickles per
+    task are the machine configs in and the results out.
+    """
+    from repro.analysis.shm import attach_plan
+    from repro.core.batched import simulate_plan
+    from repro.core.ckernel import kernel_available, run_plan
+
+    attached = attach_plan(handle)
+    try:
+        if kernel_available():
+            return run_plan(attached.plan, chunk, workload)
+        return {
+            label: simulate_plan(attached.plan, machine, workload)
+            for label, machine in chunk
+        }
+    finally:
+        attached.close()
+
+
+def batched_parallel_sweep(annotated, pairs, workload, progress, jobs,
+                           journal=None, seed=None, trace_len=None):
+    """Zero-copy parallel sweep of batched-eligible *pairs*.
+
+    The parent builds one columnar plan per event-mask group, publishes
+    each through :mod:`repro.analysis.shm`, measures the per-config
+    kernel cost on the first config, shards the rest into chunks of
+    roughly :data:`CHUNK_TARGET_SECONDS`, and fans the chunks out to a
+    worker pool.  Chunk results are flushed through *journal* (a
+    :class:`~repro.robustness.journal.SweepJournal`) as they arrive, so
+    a crash loses at most one chunk of work.
+
+    Returns ``{label: MLPResult}`` in grid order, or ``None`` when no
+    pool can be created (callers fall back to the serial batched path).
+    Progress callbacks fire in grid order once all results are in —
+    the same order the serial backend reports.  Shared segments are
+    unlinked in ``finally``, whether the sweep succeeded, raised, or
+    lost workers.
+    """
+    from repro.analysis.shm import publish_plan, unpublish_plan
+    from repro.core.batched import simulate_batched
+    from repro.core.columnar import mask_key, plan_for
+
+    groups = {}
+    for label, machine in pairs:
+        groups.setdefault(mask_key(machine), []).append((label, machine))
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        ctx = multiprocessing.get_context("spawn")
+
+    results = {}
+    started = time.monotonic()
+    # Measure the per-config cost on the first config of the first
+    # group; the result is kept, so calibration is free work.
+    first_key = next(iter(groups))
+    first_label, first_machine = groups[first_key][0]
+    first_result, cost = measure_config_cost(
+        lambda: simulate_batched(
+            annotated, first_machine, workload=workload, _validate=False
+        )
+    )
+    results[first_label] = first_result
+    remaining = {
+        key: [p for p in group if p[0] != first_label]
+        for key, group in groups.items()
+    }
+
+    handles = {}
+    executor = None
+    try:
+        for key, group in remaining.items():
+            if group:
+                handles[key] = publish_plan(
+                    plan_for(annotated, group[0][1])
+                )
+        tasks = []
+        for key, group in remaining.items():
+            for chunk in shard_pairs(group, cost, jobs):
+                tasks.append((handles[key], chunk))
+        if tasks:
+            try:
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(jobs, len(tasks)), mp_context=ctx
+                )
+            except (OSError, ValueError):
+                return None
+            futures = [
+                (chunk, executor.submit(
+                    _run_plan_chunk, handle, chunk, workload
+                ))
+                for handle, chunk in tasks
+            ]
+            for chunk, future in futures:
+                labels = ", ".join(label for label, _ in chunk)
+                try:
+                    chunk_results = future.result()
+                except Exception as exc:
+                    elapsed = time.monotonic() - started
+                    if executor is not None:
+                        executor.shutdown(wait=False, cancel_futures=True)
+                    raise SimulationError(
+                        f"sweep worker failed for configs [{labels}]"
+                        f" (attempt 1, after {elapsed:.1f}s): {exc}",
+                        field=chunk[0][0],
+                    ) from exc
+                results.update(chunk_results)
+                if journal is not None:
+                    _flush_chunk(
+                        journal, chunk, chunk_results, workload,
+                        seed, trace_len, time.monotonic() - started,
+                    )
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        for handle in handles.values():
+            unpublish_plan(handle)
+
+    ordered = {label: results[label] for label, _ in pairs}
+    if progress is not None:
+        for label in ordered:
+            progress(label)
+    return ordered
+
+
+def _flush_chunk(journal, chunk, chunk_results, workload, seed, trace_len,
+                 elapsed):
+    """Append one chunk's results to the sweep journal, fail-soft."""
+    from repro.robustness.journal import config_key
+
+    per_config = elapsed / max(len(chunk), 1)
+    for label, machine in chunk:
+        try:
+            key = config_key(workload, seed, trace_len, machine)
+            journal.record_attempt(key, label, 1)
+            journal.record_result(
+                key, label, 1, per_config, chunk_results[label]
+            )
+        except Exception:
+            pass  # journalling is an aid; never fail the sweep over it
 
 
 def parallel_sweep_results(annotated, pairs, workload, progress, jobs):

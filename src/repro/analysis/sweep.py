@@ -20,7 +20,10 @@ crash, retried per-config with backoff, and fail-soft — see
 import dataclasses
 
 from repro.core.mlpsim import simulate
-from repro.robustness.errors import SimulationError
+from repro.robustness.errors import ConfigError, SimulationError
+
+#: Engines ``sweep`` can route a grid through.
+ENGINES = ("auto", "batched", "scalar")
 
 
 @dataclasses.dataclass
@@ -66,8 +69,44 @@ class SweepResult:
         }
 
 
+def _batched_usable(pairs):
+    """Can the batched engine accept this grid at all?
+
+    A grid with a non-``MachineConfig`` entry (tests inject stand-ins
+    to exercise failure paths) routes to the scalar backends, whose
+    error contract such tests pin down.
+    """
+    from repro.core.config import MachineConfig
+
+    return all(
+        isinstance(machine, MachineConfig) for _, machine in pairs
+    )
+
+
+def _sweep_batched(annotated, pairs, name, progress, n_jobs):
+    """Batched-engine sweep: serial-cutover or zero-copy parallel."""
+    from repro.analysis.parallel import (
+        batched_parallel_sweep,
+        serial_cutover,
+    )
+    from repro.core.batched import simulate_batch
+
+    if not serial_cutover(n_jobs, len(pairs)):
+        results = batched_parallel_sweep(
+            annotated, pairs, name, progress, min(n_jobs, len(pairs))
+        )
+        if results is not None:
+            return SweepResult(workload=name, results=results)
+
+    results = simulate_batch(annotated, pairs, workload=name)
+    if progress is not None:
+        for label in results:
+            progress(label)
+    return SweepResult(workload=name, results=results)
+
+
 def sweep(annotated, machines, workload=None, progress=None, jobs=None,
-          supervise=None):
+          supervise=None, engine="auto"):
     """Run MLPsim for every ``(label, machine)`` pair in *machines*.
 
     *machines* is an iterable of pairs (an ordered mapping also works).
@@ -80,6 +119,20 @@ def sweep(annotated, machines, workload=None, progress=None, jobs=None,
     Parallel runs produce results identical to serial ones and preserve
     label order in both the result dict and the progress callbacks; if
     no worker pool can be created the sweep silently runs serially.
+    An automatic serial cutover (see
+    :func:`repro.analysis.parallel.serial_cutover`) keeps ``jobs=N``
+    from ever paying pool overhead a grid cannot amortise — on a
+    single-core machine or a tiny grid, ``jobs=4`` simply runs the
+    serial backend.
+
+    *engine* picks the simulation backend: ``"auto"`` (default) routes
+    the grid through the config-batched columnar engine
+    (:mod:`repro.core.batched`) — bit-identical to the scalar engine
+    and roughly an order of magnitude faster on full grids — falling
+    back per-config to the scalar engine for machines outside the
+    batched envelope; ``"batched"`` does the same (it is the explicit
+    spelling); ``"scalar"`` forces the one-instruction-at-a-time
+    interpreter everywhere.
 
     *supervise* routes the sweep through the crash-safe supervisor
     (:func:`repro.robustness.supervisor.supervised_sweep`): pass
@@ -88,8 +141,16 @@ def sweep(annotated, machines, workload=None, progress=None, jobs=None,
     ``trace_len``, ``fault_plan``).  The return value is then a
     :class:`~repro.robustness.supervisor.SupervisedSweepResult` — a
     :class:`SweepResult` whose ``quarantined`` list carries any
-    dead-lettered configurations instead of raising.
+    dead-lettered configurations instead of raising.  Supervised
+    sweeps always use the scalar engine: per-config isolation is the
+    point of supervision, and batching configs into one kernel call
+    would couple their failure domains.
     """
+    if engine not in ENGINES:
+        raise ConfigError(
+            f"engine must be one of {ENGINES}, got {engine!r}",
+            field="engine",
+        )
     if hasattr(machines, "items"):
         machines = machines.items()
     pairs = list(machines)
@@ -104,10 +165,22 @@ def sweep(annotated, machines, workload=None, progress=None, jobs=None,
             progress=progress, **options
         )
 
-    from repro.analysis.parallel import parallel_sweep_results, resolve_jobs
+    from repro.analysis.parallel import (
+        parallel_sweep_results,
+        resolve_jobs,
+        serial_cutover,
+        serial_sweep_results,
+    )
 
     n_jobs = resolve_jobs(jobs)
+
+    if engine != "scalar" and pairs and _batched_usable(pairs):
+        return _sweep_batched(annotated, pairs, name, progress, n_jobs)
+
     if n_jobs > 1 and len(pairs) > 1:
+        if serial_cutover(n_jobs, len(pairs)):
+            results = serial_sweep_results(annotated, pairs, name, progress)
+            return SweepResult(workload=name, results=results)
         results = parallel_sweep_results(
             annotated, pairs, name, progress, min(n_jobs, len(pairs))
         )

@@ -1,0 +1,364 @@
+"""Columnar simulation plans: the trace recast as NumPy structure-of-arrays.
+
+The scalar engine (:mod:`repro.core.mlpsim`) interprets one instruction
+at a time from flat Python lists.  The batched engine
+(:mod:`repro.core.batched`) instead executes *stretches* of instructions
+with vectorised NumPy operations, which needs the trace, its dependence
+graph and its event masks laid out as aligned int32/bool columns with
+gather-friendly sentinels.  That layout is a :class:`ColumnarPlan`.
+
+A plan is built once per ``(region, mask-key)`` and shared by **every
+machine configuration** whose perfect-* and value-prediction switches
+produce the same event masks — the config grid of a sweep typically
+collapses to a handful of mask groups, so the per-trace preparation cost
+is amortised across the whole grid.  Plans are memoised on the annotated
+trace object (like the dependence graph and the interpreter tables) and
+their raw columns can be spilled to / restored from flat array payloads
+for zero-copy hand-off to sweep worker processes (see
+:mod:`repro.analysis.shm`).
+
+Layout conventions
+------------------
+
+* Producer columns (``prod1``, ``prod2``, ``prod3``, ``memdep``) are
+  region-relative ``int32`` indices with the *sentinel* ``n`` (one past
+  the region) instead of ``-1`` for "no producer": the engines allocate
+  result arrays of length ``n + 1`` whose last slot holds epoch 0
+  ("always available"), so availability gathers need no mask.
+* Event columns are ``bool`` with the machine's perfect-* switches
+  already applied, exactly as :func:`repro.core.mlpsim._event_arrays`
+  computes them.
+* ``scalar_mask`` marks the positions the batched engine must hand to
+  the scalar interpreter (misses, serializing instructions,
+  result-less ops that name a destination); everything between two
+  scalar positions is eligible for vectorised execution.
+* The payload carries the dependence graph verbatim; the *vector*
+  producer columns — where a slot an opcode never reads (a NOP's
+  registers, a non-store's ``prod3``, a non-load's ``memdep``) is
+  forced to the sentinel — are derived locally by :meth:`runtime`,
+  together with the flat Python lists the scalar interpreter indexes.
+
+Bump :data:`COLUMNAR_SCHEMA_VERSION` whenever the set or meaning of the
+columns changes: the disk annotation cache keys its entries on it, and
+stale pre-refactor entries are quarantined instead of silently
+deserialized (see :mod:`repro.experiments.common`).
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.depgraph import depgraph_for
+from repro.core.mlpsim import _event_arrays, resolve_region
+from repro.isa.opclass import OpClass
+from repro.isa.registers import REG_ZERO
+from repro.robustness.errors import TraceFormatError
+
+#: Version of the columnar plan layout.  Annotation cache entries are
+#: keyed on it so pre-columnar archives cannot be misread as current.
+COLUMNAR_SCHEMA_VERSION = 1
+
+#: Columns a spilled plan payload must carry, with dtypes.
+PLAN_COLUMNS = (
+    ("ops", np.int8),
+    ("prod1", np.int32),
+    ("prod2", np.int32),
+    ("prod3", np.int32),
+    ("memdep", np.int32),
+    ("dmiss", np.bool_),
+    ("imiss", np.bool_),
+    ("mispred", np.bool_),
+    ("pmiss", np.bool_),
+    ("pfuseful", np.bool_),
+    ("vp_ok", np.bool_),
+    ("smiss", np.bool_),
+    ("is_load", np.bool_),
+    ("is_store", np.bool_),
+    ("is_branch", np.bool_),
+    ("is_memop", np.bool_),
+    ("scalar_mask", np.bool_),
+)
+
+
+def mask_key(machine):
+    """The event-mask identity of *machine*: configs sharing it share a plan."""
+    return (
+        machine.perfect_ifetch,
+        machine.perfect_branch,
+        machine.perfect_value,
+        machine.value_prediction,
+    )
+
+
+@dataclasses.dataclass
+class _PlanRuntime:
+    """Derived, process-local artifacts of a plan.
+
+    ``vprod_all`` stacks the four producer columns — with never-read
+    slots (a NOP's registers, a non-store's ``prod3``, a non-load's
+    ``memdep``) forced to the sentinel — into one ``(4, n)`` matrix, so
+    a single fancy gather resolves every in-span availability check.
+    The ``*_l`` members are flat Python lists
+    (the fastest random-access structure in the interpreter) for the
+    scalar positions the batched engine still interprets one at a time.
+    """
+
+    vprod_all: np.ndarray  # (4, n): vprod1 / vprod2 / vprod3 / vmem stacked
+    ops_l: list
+    prod1_l: list
+    prod2_l: list
+    prod3_l: list
+    memdep_l: list
+    dmiss_l: list
+    mispred_l: list
+    pmiss_l: list
+    pfuseful_l: list
+    smiss_l: list
+    scalar_mask_l: list
+    scalar_pos_l: list
+
+
+@dataclasses.dataclass
+class ColumnarPlan:
+    """Structure-of-arrays input of the batched engine for one region.
+
+    All columns have length ``n = stop - start``; producer columns use
+    the sentinel ``n`` for "no producer in region".  ``scalar_pos`` is
+    the sorted scalar positions followed by the sentinel ``n``, so
+    forward scans never fall off the end.
+    """
+
+    start: int
+    stop: int
+    ops: np.ndarray
+    prod1: np.ndarray
+    prod2: np.ndarray
+    prod3: np.ndarray
+    memdep: np.ndarray
+    dmiss: np.ndarray
+    imiss: np.ndarray
+    mispred: np.ndarray
+    pmiss: np.ndarray
+    pfuseful: np.ndarray
+    vp_ok: np.ndarray
+    smiss: np.ndarray
+    is_load: np.ndarray     # LOAD only (policy-A/B in-order load cascades)
+    is_store: np.ndarray    # STORE only
+    is_branch: np.ndarray   # BRANCH only (in-order branch cascades)
+    is_memop: np.ndarray    # LOAD | STORE (blocked_memop sources)
+    scalar_mask: np.ndarray
+    scalar_pos: np.ndarray  # sorted scalar positions + sentinel n
+
+    def __len__(self):
+        return self.stop - self.start
+
+    def nbytes(self):
+        """Total payload size of the numpy columns, in bytes."""
+        total = self.scalar_pos.nbytes
+        for name, _ in PLAN_COLUMNS:
+            total += getattr(self, name).nbytes
+        return total
+
+    def runtime(self):
+        """Derived vector columns and scalar lists, built once per plan."""
+        cached = getattr(self, "_runtime", None)
+        if cached is not None:
+            return cached
+        n = len(self)
+        sentinel = np.int32(n)
+        is_nop = self.ops == int(OpClass.NOP)
+        vprod_all = np.ascontiguousarray(np.stack([
+            np.where(is_nop, sentinel, self.prod1),
+            np.where(is_nop, sentinel, self.prod2),
+            np.where(self.is_store, self.prod3, sentinel),
+            np.where(self.is_load, self.memdep, sentinel),
+        ]))
+        runtime = _PlanRuntime(
+            vprod_all=vprod_all,
+            ops_l=self.ops.tolist(),
+            prod1_l=self.prod1.tolist(),
+            prod2_l=self.prod2.tolist(),
+            prod3_l=self.prod3.tolist(),
+            memdep_l=self.memdep.tolist(),
+            dmiss_l=self.dmiss.tolist(),
+            mispred_l=self.mispred.tolist(),
+            pmiss_l=self.pmiss.tolist(),
+            pfuseful_l=self.pfuseful.tolist(),
+            smiss_l=self.smiss.tolist(),
+            scalar_mask_l=self.scalar_mask.tolist(),
+            scalar_pos_l=self.scalar_pos.tolist(),
+        )
+        self._runtime = runtime
+        return runtime
+
+
+def _plan_cache(annotated):
+    cache = getattr(annotated, "_columnar_plan_cache", None)
+    if cache is None:
+        cache = {}
+        annotated._columnar_plan_cache = cache
+    return cache
+
+
+def plan_for(annotated, machine, start=None, stop=None):
+    """Return the (memoised) :class:`ColumnarPlan` for *machine*'s mask group.
+
+    Configurations that share perfect-* and value-prediction switches
+    share one plan object; a grid sweep therefore builds at most one
+    plan per mask group per region.
+    """
+    start, stop = resolve_region(annotated, start, stop)
+    key = (start, stop) + mask_key(machine)
+    cache = _plan_cache(annotated)
+    plan = cache.get(key)
+    if plan is None:
+        plan = build_plan(annotated, machine, start, stop)
+        cache[key] = plan
+    return plan
+
+
+def build_plan(annotated, machine, start, stop):
+    """Build the columnar plan for ``annotated[start:stop)`` under *machine*.
+
+    Only the mask key of *machine* matters; window sizes, issue policy
+    and structure limits are applied by the engine at run time, which is
+    what makes the plan shareable across a config grid.
+    """
+    n = stop - start
+    trace = annotated.trace
+
+    (dmiss, imiss, mispred, pmiss, pfuseful, vp_ok) = _event_arrays(
+        annotated, machine, start, stop
+    )
+    dmiss = np.ascontiguousarray(dmiss)
+    imiss = np.ascontiguousarray(imiss)
+    mispred = np.ascontiguousarray(mispred)
+    pmiss = np.ascontiguousarray(pmiss)
+    pfuseful = np.ascontiguousarray(pfuseful)
+    vp_ok = np.ascontiguousarray(vp_ok)
+    smiss = np.ascontiguousarray(np.asarray(annotated.smiss[start:stop]))
+    ops = np.ascontiguousarray(trace.op[start:stop])
+
+    graph = depgraph_for(annotated, start, stop)
+    prod1 = _sentineled(graph.prod1, n)
+    prod2 = _sentineled(graph.prod2, n)
+    prod3 = _sentineled(graph.prod3, n)
+    memdep = _sentineled(graph.memdep, n)
+
+    is_load = ops == int(OpClass.LOAD)
+    is_store = ops == int(OpClass.STORE)
+    is_branch = ops == int(OpClass.BRANCH)
+    is_memop = is_load | is_store
+
+    serialize_ops = (
+        (ops == int(OpClass.CAS))
+        | (ops == int(OpClass.LDSTUB))
+        | (ops == int(OpClass.MEMBAR))
+    )
+    resultless_ops = (
+        is_branch
+        | (ops == int(OpClass.NOP))
+        | (ops == int(OpClass.PREFETCH))
+    )
+    dst_named = trace.dst[start:stop] > REG_ZERO
+
+    # Positions the scalar interpreter must handle: every off-chip or
+    # serializing event plus result-less ops whose (never-assigned)
+    # result slot must keep its reference-engine behaviour.
+    scalar_mask = (
+        dmiss | imiss | pmiss | smiss | serialize_ops
+        | (resultless_ops & dst_named)
+    )
+
+    return ColumnarPlan(
+        start=start, stop=stop,
+        ops=ops,
+        prod1=prod1, prod2=prod2, prod3=prod3, memdep=memdep,
+        dmiss=dmiss, imiss=imiss, mispred=mispred,
+        pmiss=pmiss, pfuseful=pfuseful, vp_ok=vp_ok, smiss=smiss,
+        is_load=is_load, is_store=is_store, is_branch=is_branch,
+        is_memop=is_memop,
+        scalar_mask=scalar_mask,
+        scalar_pos=_scalar_pos(scalar_mask, n),
+    )
+
+
+def _scalar_pos(scalar_mask, n):
+    positions = np.flatnonzero(scalar_mask).astype(np.int64)
+    return np.append(positions, n)
+
+
+def _sentineled(producers, n):
+    """Producer list with ``-1`` replaced by the gather sentinel ``n``."""
+    arr = np.asarray(producers, dtype=np.int32)
+    return np.where(arr >= 0, arr, np.int32(n)).astype(np.int32)
+
+
+def plan_payload(plan):
+    """Project *plan* to a flat ``{name: array}`` dict for spilling.
+
+    The payload round-trips through :func:`plan_from_payload`; the
+    schema version travels with it so a stale archive is rejected
+    loudly instead of misread.
+    """
+    payload = {name: getattr(plan, name) for name, _ in PLAN_COLUMNS}
+    payload["meta"] = np.asarray(
+        [COLUMNAR_SCHEMA_VERSION, plan.start, plan.stop], dtype=np.int64
+    )
+    return payload
+
+
+def plan_from_payload(payload, path=None):
+    """Rebuild a :class:`ColumnarPlan` from :func:`plan_payload` output.
+
+    Raises
+    ------
+    repro.robustness.errors.TraceFormatError
+        If the payload misses columns, carries a wrong dtype, or was
+        written under a different :data:`COLUMNAR_SCHEMA_VERSION`.
+    """
+    if "meta" not in payload:
+        raise TraceFormatError(
+            "not a columnar plan payload (no meta record)",
+            path=path, field="meta",
+        )
+    meta = np.asarray(payload["meta"])
+    if meta.shape != (3,):
+        raise TraceFormatError(
+            f"columnar plan meta record has shape {meta.shape}; expected (3,)",
+            path=path, field="meta",
+        )
+    version = int(meta[0])
+    if version != COLUMNAR_SCHEMA_VERSION:
+        raise TraceFormatError(
+            f"columnar schema version mismatch: payload has {version},"
+            f" library expects {COLUMNAR_SCHEMA_VERSION}",
+            path=path, field="meta",
+        )
+    start, stop = int(meta[1]), int(meta[2])
+    n = stop - start
+    if n < 0 or start < 0:
+        raise TraceFormatError(
+            f"columnar plan meta names an invalid region [{start}, {stop})",
+            path=path, field="meta",
+        )
+    columns = {}
+    for name, dtype in PLAN_COLUMNS:
+        if name not in payload:
+            raise TraceFormatError(
+                f"columnar plan payload is missing column {name!r}",
+                path=path, field=name,
+            )
+        array = np.asarray(payload[name])
+        if array.dtype != np.dtype(dtype) or array.shape != (n,):
+            raise TraceFormatError(
+                f"columnar plan column {name!r} has dtype {array.dtype}"
+                f" shape {array.shape}; expected {np.dtype(dtype)} ({n},)",
+                path=path, field=name,
+            )
+        columns[name] = array
+    return ColumnarPlan(
+        start=start, stop=stop,
+        scalar_pos=_scalar_pos(columns["scalar_mask"], n),
+        **columns,
+    )

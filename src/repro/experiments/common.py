@@ -78,10 +78,50 @@ def _cache_path(name, trace_len, l2_bytes, seed):
         return None
     from repro.trace.io import FORMAT_VERSION
 
+    from repro.core.columnar import COLUMNAR_SCHEMA_VERSION
+
+    _quarantine_stale_entries(directory)
     digest = hashlib.sha1(
-        f"v{FORMAT_VERSION}:{name}:{trace_len}:{l2_bytes}:{seed}".encode()
+        f"v{FORMAT_VERSION}:c{COLUMNAR_SCHEMA_VERSION}:"
+        f"{name}:{trace_len}:{l2_bytes}:{seed}".encode()
     ).hexdigest()
-    return os.path.join(directory, f"annotated-{digest}.npz")
+    return os.path.join(
+        directory,
+        f"annotated-c{COLUMNAR_SCHEMA_VERSION}-{digest}.npz",
+    )
+
+
+_stale_scan_done = set()
+
+
+def _quarantine_stale_entries(directory):
+    """Quarantine cache entries from older columnar schema versions.
+
+    Entry filenames carry the :data:`COLUMNAR_SCHEMA_VERSION` they were
+    written under (``annotated-c<V>-<digest>.npz``); anything else —
+    including pre-columnar ``annotated-<digest>.npz`` archives — can
+    never be loaded again and would otherwise rot in the cache forever.
+    They are moved to the quarantine directory (same path corrupt
+    entries take) so a schema bump leaves an inspectable trail instead
+    of silent disk growth.  Scans once per directory per process.
+    """
+    if directory in _stale_scan_done:
+        return
+    _stale_scan_done.add(directory)
+    from repro.core.columnar import COLUMNAR_SCHEMA_VERSION
+
+    current = f"annotated-c{COLUMNAR_SCHEMA_VERSION}-"
+    try:
+        entries = os.listdir(directory)
+    except OSError:
+        return
+    for entry in entries:
+        if (entry.startswith("annotated-") and entry.endswith(".npz")
+                and not entry.startswith(current)):
+            _quarantine_cache_entry(
+                os.path.join(directory, entry),
+                "columnar schema version skew",
+            )
 
 
 def _quarantine_cache_entry(path, error):
