@@ -128,7 +128,10 @@ def _unpack(buffer, handle):
 def _publish_shm(layout, size, columns):
     from multiprocessing import shared_memory
 
-    segment = shared_memory.SharedMemory(create=True, size=size)
+    # Ownership transfers by *name*: the segment outlives this scope on
+    # purpose (close() drops our mapping only) and unpublish_plan()
+    # unlinks it later via the returned handle.
+    segment = shared_memory.SharedMemory(create=True, size=size)  # reprolint: disable=shm-lifetime
     try:
         _fill(segment.buf, columns)
     except BaseException:

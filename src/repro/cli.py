@@ -406,12 +406,27 @@ def cmd_lint(args):
     reported, 2 on usage errors (unknown pass ids, bad root).
     """
     import json
+    import sys
 
     from repro.lint import Severity, registered_passes, run_lint
 
     if args.list:
         for pass_id, cls in sorted(registered_passes().items()):
             print(f"{pass_id:<18} {cls.description}")
+        return 0
+    if args.manifest_update:
+        from repro.lint.update import ManifestUpdateError, update_manifest
+
+        try:
+            result = update_manifest(args.root)
+        except ManifestUpdateError as exc:
+            print(f"repro lint --manifest-update: {exc}", file=sys.stderr)
+            return 2
+        state = "regenerated" if result["changed"] else "already current"
+        print(f"manifest {state}:")
+        print(f"  oracle sha256          {result['oracle_sha256']}")
+        print(f"  payload schema version {result['payload_schema_version']}")
+        print(f"  payload fingerprint    {result['payload_schema_sha256']}")
         return 0
     select = None
     if args.select:
@@ -603,6 +618,10 @@ def build_parser():
                    " comma-separated; see --list)")
     p.add_argument("--list", action="store_true",
                    help="list the registered passes and exit")
+    p.add_argument("--manifest-update", action="store_true",
+                   help="regenerate the pinned oracle SHA and payload"
+                   " schema fingerprint in repro.lint.manifest (atomic;"
+                   " refuses on an unrelated-dirty git tree)")
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("ablation", help="run ablation studies")

@@ -54,6 +54,15 @@ _EXPECTED_OPS = {
     "CAS": 5, "LDSTUB": 6, "MEMBAR": 7, "NOP": 8,
 }
 
+#: ``execute()`` status codes of the C kernel, keyed by the ``ST_*``
+#: suffix.  The Python engines speak strings ("done", "defer",
+#: "stop-done", "stop-defer"); the C scan encodes the same four
+#: outcomes as these integers, and the ``kernel-constants`` lint pass
+#: holds the ``ST_*`` defines in ``_mlpsim_kernel.c`` to this table.
+_EXPECTED_STATUSES = {
+    "DONE": 0, "DEFER": 1, "STOP_DONE": 2, "STOP_DEFER": 3,
+}
+
 _SOURCE_PATH = os.path.join(os.path.dirname(__file__), "_mlpsim_kernel.c")
 
 _UNBOUNDED = 1 << 30

@@ -1,0 +1,363 @@
+"""Extract the ABI surface of a C source file without a compiler.
+
+The kernel source is deliberately plain C89-with-stdint: object-like
+macros, brace-initialised ``typedef struct`` blocks and free functions.
+That restricted shape is what makes a dependency-free extractor honest:
+a regex pass recovers the ``#define`` table, and a small
+recursive-descent scan (token-free, driven by brace/paren matching)
+recovers struct field lists and exported function signatures.  The
+extractor is *strict about what it claims* — a ``#define`` whose value
+it cannot evaluate is recorded with ``value=None`` rather than guessed,
+and the parity passes treat "extractor matched nothing" as reportable,
+so a drift in the C style fails loudly instead of silently passing
+(the CI ``lint-parity`` smoke mutates a define to prove the wiring).
+
+Line numbers are tracked through comment stripping (comments are
+blanked, not removed), so findings can name the exact C line.
+"""
+
+import ast
+import re
+
+from repro.robustness.errors import InternalError
+
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)((?:\s|\().*)?$")
+_IDENT = r"[A-Za-z_]\w*"
+_FUNC_HEAD_RE = re.compile(
+    r"^(?P<quals>(?:%s[\s]+|\*+[\s]*)*?)(?P<name>%s)\s*\($"
+    % (_IDENT, _IDENT)
+)
+
+#: Binary operators an integer ``#define`` expression may use; C and
+#: Python agree on all of them for the non-negative operands the
+#: kernel's defines stick to (``/`` maps to floor division).
+_INT_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a // b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+    ast.BitOr: lambda a, b: a | b,
+    ast.BitAnd: lambda a, b: a & b,
+    ast.BitXor: lambda a, b: a ^ b,
+}
+_INT_UNARYOPS = (ast.UAdd, ast.USub, ast.Invert)
+
+
+class CDefine:
+    """One object-like ``#define``: name, raw text, evaluated value."""
+
+    __slots__ = ("name", "text", "value", "lineno")
+
+    def __init__(self, name, text, value, lineno):
+        self.name = name
+        self.text = text
+        self.value = value  # int, or None when not an integer constant
+        self.lineno = lineno
+
+
+class CField:
+    """One struct member: declared type, name, optional array length."""
+
+    __slots__ = ("name", "ctype", "array_len", "lineno")
+
+    def __init__(self, name, ctype, array_len, lineno):
+        self.name = name
+        self.ctype = ctype          # normalised, e.g. "const int32_t *"
+        self.array_len = array_len  # raw length text, or None
+        self.lineno = lineno
+
+
+class CStruct:
+    """A ``typedef struct { ... } Name;`` with its fields in order."""
+
+    __slots__ = ("name", "fields", "lineno")
+
+    def __init__(self, name, fields, lineno):
+        self.name = name
+        self.fields = fields
+        self.lineno = lineno
+
+
+class CFunction:
+    """An exported function definition: return type and parameters."""
+
+    __slots__ = ("name", "return_type", "params", "lineno")
+
+    def __init__(self, name, return_type, params, lineno):
+        self.name = name
+        self.return_type = return_type
+        self.params = params  # list of (ctype, name)
+        self.lineno = lineno
+
+
+class CExtract:
+    """The recovered ABI surface of one C translation unit."""
+
+    def __init__(self, defines, structs, functions):
+        self.defines = defines      # {name: CDefine}
+        self.structs = structs      # {name: CStruct}
+        self.functions = functions  # {name: CFunction}
+
+    def define_value(self, name):
+        """Evaluated value of define *name*, or ``None``."""
+        define = self.defines.get(name)
+        return define.value if define is not None else None
+
+
+def _strip_comments(source):
+    """Blank out ``/* */`` and ``//`` comments, preserving newlines."""
+    out = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            end = n if end < 0 else end + 2
+            out.append(re.sub(r"[^\n]", " ", source[i:end]))
+            i = end
+        elif ch == "/" and i + 1 < n and source[i + 1] == "/":
+            end = source.find("\n", i)
+            end = n if end < 0 else end
+            out.append(" " * (end - i))
+            i = end
+        elif ch in "\"'":
+            # String/char literals: skip verbatim so a "/*" inside one
+            # does not start a comment.
+            end = i + 1
+            while end < n and source[end] != ch:
+                end += 2 if source[end] == "\\" else 1
+            end = min(end + 1, n)
+            out.append(source[i:end])
+            i = end
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _eval_int(text, env):
+    """Evaluate an integer constant expression, or ``None``.
+
+    C and Python agree on the syntax of the expressions the kernel
+    uses — decimal/hex literals, parentheses, shifts, arithmetic and
+    bitwise operators — so the text is parsed with :mod:`ast` and
+    folded over a whitelist of node types.  Identifiers resolve
+    through *env* (earlier defines); ``L``/``U`` literal suffixes are
+    stripped first.  Anything else (casts, ``sizeof``, floats) yields
+    ``None``.
+    """
+    text = re.sub(r"(?<=[0-9a-fA-FxX])[uUlL]+\b", "", text.strip())
+    try:
+        node = ast.parse(text, mode="eval").body
+    except SyntaxError:
+        return None
+
+    def fold(node):
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            return node.value
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.BinOp) and type(node.op) in _INT_BINOPS:
+            left, right = fold(node.left), fold(node.right)
+            if left is None or right is None:
+                return None
+            try:
+                return _INT_BINOPS[type(node.op)](left, right)
+            except (ValueError, ZeroDivisionError, OverflowError):
+                return None
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, _INT_UNARYOPS
+        ):
+            operand = fold(node.operand)
+            if operand is None:
+                return None
+            if isinstance(node.op, ast.USub):
+                return -operand
+            if isinstance(node.op, ast.Invert):
+                return ~operand
+            return operand
+        return None
+
+    return fold(node)
+
+
+def _extract_defines(stripped):
+    defines = {}
+    env = {}
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        match = _DEFINE_RE.match(line)
+        if not match:
+            continue
+        name, rest = match.group(1), (match.group(2) or "").strip()
+        if rest.startswith("("):
+            # A '(' directly after the name means a function-like
+            # macro — but only without intervening space; the regex
+            # keeps leading whitespace in `rest`, so check the raw gap.
+            raw_after = line.split(name, 1)[1]
+            if raw_after.startswith("("):
+                continue
+        value = _eval_int(rest, env) if rest else None
+        defines[name] = CDefine(name, rest, value, lineno)
+        if value is not None:
+            env[name] = value
+    return defines
+
+
+def _lineno_at(stripped, offset):
+    return stripped.count("\n", 0, offset) + 1
+
+
+def _match_brace(text, open_index):
+    """Index just past the brace/paren matching ``text[open_index]``."""
+    pairs = {"{": "}", "(": ")", "[": "]"}
+    close = pairs[text[open_index]]
+    opener = text[open_index]
+    depth = 0
+    for i in range(open_index, len(text)):
+        if text[i] == opener:
+            depth += 1
+        elif text[i] == close:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    raise InternalError(
+        f"unbalanced {opener!r} at offset {open_index} while extracting"
+        " the C ABI surface"
+    )
+
+
+def _normalise_type(tokens):
+    """Join type tokens with single spaces, ``*`` separated."""
+    flat = " ".join(tokens)
+    flat = flat.replace("*", " * ")
+    return " ".join(flat.split())
+
+
+def _parse_field(decl, lineno):
+    """Parse one struct member declaration (text between ``;``)."""
+    decl = decl.strip()
+    if not decl:
+        return None
+    array_len = None
+    array = re.search(r"\[([^\]]*)\]\s*$", decl)
+    if array:
+        array_len = array.group(1).strip()
+        decl = decl[: array.start()].rstrip()
+    match = re.search(r"(%s)\s*$" % _IDENT, decl)
+    if not match:
+        return None
+    name = match.group(1)
+    ctype = _normalise_type(decl[: match.start()].split())
+    if not ctype:
+        return None
+    return CField(name, ctype, array_len, lineno)
+
+
+def _extract_structs(stripped):
+    structs = {}
+    for match in re.finditer(r"\btypedef\s+struct\b", stripped):
+        brace = stripped.find("{", match.end())
+        if brace < 0:
+            continue
+        body_end = _match_brace(stripped, brace)
+        tail = stripped[body_end:]
+        name_match = re.match(r"\s*(%s)\s*;" % _IDENT, tail)
+        if not name_match:
+            continue
+        name = name_match.group(1)
+        fields = []
+        body = stripped[brace + 1: body_end - 1]
+        offset = brace + 1
+        for decl in body.split(";"):
+            lineno = _lineno_at(stripped, offset + len(decl)
+                                - len(decl.lstrip()))
+            field = _parse_field(decl, lineno)
+            offset += len(decl) + 1
+            if field is not None:
+                fields.append(field)
+        structs[name] = CStruct(
+            name, fields, _lineno_at(stripped, match.start())
+        )
+    return structs
+
+
+def _split_params(text):
+    """Split a parameter list on top-level commas."""
+    params, depth, current = [], 0, []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            params.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if "".join(current).strip():
+        params.append("".join(current))
+    return params
+
+
+def _parse_param(text):
+    text = text.strip()
+    if not text or text == "void":
+        return None
+    match = re.search(r"(%s)\s*$" % _IDENT, text)
+    if not match:
+        return (_normalise_type(text.split()), None)  # unnamed param
+    name = match.group(1)
+    ctype = _normalise_type(text[: match.start()].split())
+    if not ctype:
+        # A bare identifier is a type with no name (e.g. "int").
+        return (name, None)
+    return (ctype, name)
+
+
+def _extract_functions(stripped):
+    """Exported function *definitions*: ``ret name(params) {``."""
+    functions = {}
+    for match in re.finditer(
+        r"(?m)^(?P<head>[A-Za-z_][\w \t*]*?)\b(?P<name>%s)\s*\(" % _IDENT,
+        stripped,
+    ):
+        head = match.group("head")
+        if "static" in head.split() or "typedef" in head.split():
+            continue
+        open_paren = match.end() - 1
+        try:
+            close = _match_brace(stripped, open_paren)
+        except InternalError:
+            continue
+        after = stripped[close:]
+        if not re.match(r"\s*\{", after):
+            continue  # a declaration or macro use, not a definition
+        return_type = _normalise_type(head.split())
+        if not return_type:
+            continue
+        params = []
+        for param in _split_params(stripped[open_paren + 1: close - 1]):
+            parsed = _parse_param(param)
+            if parsed is not None:
+                params.append(parsed)
+        name = match.group("name")
+        functions[name] = CFunction(
+            name, return_type, params,
+            _lineno_at(stripped, match.start("name")),
+        )
+    return functions
+
+
+def extract_c(source):
+    """Extract the :class:`CExtract` surface of C *source* text."""
+    stripped = _strip_comments(source.replace("\r\n", "\n"))
+    return CExtract(
+        defines=_extract_defines(stripped),
+        structs=_extract_structs(stripped),
+        functions=_extract_functions(stripped),
+    )

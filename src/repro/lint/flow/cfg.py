@@ -78,6 +78,8 @@ class CFG:
         self.succ = []
         self.pred = []
         self.blocks = []
+        self.exceptional = set()
+        self.interrupted = set()
         self.entry = self.add_node("entry", None)
         self.exit = self.add_node("exit", None)
 
@@ -89,8 +91,32 @@ class CFG:
         self.pred.append(set())
         return len(self.nodes) - 1
 
-    def add_edge(self, src, dst):
-        """Add a directed edge from node *src* to node *dst*."""
+    def add_edge(self, src, dst, exceptional=False):
+        """Add a directed edge from node *src* to node *dst*.
+
+        *exceptional* marks edges control only takes while an exception
+        (or a ``return`` routed through a shared ``finally``) is
+        propagating: the implicit statement-to-handler edges, an
+        explicit ``raise``'s jump, and a ``finally`` frontier's
+        continuation out of its region.  When the same (src, dst) pair
+        is also reachable normally, normal wins — analyses that filter
+        on :attr:`exceptional` must only ever lose crash paths, never a
+        straight-line one.
+
+        :attr:`interrupted` refines the exceptional set: it holds only
+        the implicit statement-to-handler edges, where the source
+        statement may have raised *part-way through* (so its effects
+        may not have happened).  A ``finally`` frontier's continuation
+        and an explicit ``raise``'s jump are exceptional but **not**
+        interrupted — their source statements ran to completion before
+        control moved.
+        """
+        if exceptional:
+            if dst not in self.succ[src]:
+                self.exceptional.add((src, dst))
+        else:
+            self.exceptional.discard((src, dst))
+            self.interrupted.discard((src, dst))
         self.succ[src].add(dst)
         self.pred[dst].add(src)
 
@@ -123,6 +149,46 @@ class CFG:
     def statement_nodes(self):
         """Indices of real statement nodes (skips entry/exit)."""
         return [i for i, stmt in enumerate(self.nodes) if stmt is not None]
+
+    def without_exceptional(self):
+        """A view of this graph restricted to normal-path edges.
+
+        Duck-types everything :func:`~repro.lint.flow.dataflow.
+        solve_forward` and the path walkers read (``nodes``, ``kinds``,
+        ``entry``/``exit``, ``succ``/``pred``, ``label``,
+        ``statement_nodes``); only the exceptional edges are gone.
+        Analyses whose protocol treats an in-flight exception as the
+        crash model — e.g. a journal write torn by a fault — solve over
+        this view; analyses that must hold on crash paths too (shm
+        lifetime) solve over the full graph.
+        """
+        return _NormalView(self)
+
+
+class _NormalView:
+    """A :class:`CFG` with its exceptional edges filtered out."""
+
+    def __init__(self, cfg):
+        self.name = cfg.name
+        self.nodes = cfg.nodes
+        self.kinds = cfg.kinds
+        self.blocks = cfg.blocks
+        self.entry = cfg.entry
+        self.exit = cfg.exit
+        self.exceptional = set()
+        self.interrupted = set()
+        self.succ = [
+            {dst for dst in targets if (src, dst) not in cfg.exceptional}
+            for src, targets in enumerate(cfg.succ)
+        ]
+        self.pred = [set() for _ in cfg.nodes]
+        for src, targets in enumerate(self.succ):
+            for dst in targets:
+                self.pred[dst].add(src)
+
+    label = CFG.label
+    reachable = CFG.reachable
+    statement_nodes = CFG.statement_nodes
 
 
 class _Loop:
@@ -182,23 +248,30 @@ class _Builder:
 
     # -- plumbing ------------------------------------------------------
 
-    def connect(self, preds, node):
+    def connect(self, preds, node, exceptional=False):
         for pred in preds:
-            self.cfg.add_edge(pred, node)
+            self.cfg.add_edge(pred, node, exceptional=exceptional)
 
-    def stmt_node(self, stmt, kind=None):
-        """Create a node for *stmt*, wiring its implicit exception edge."""
+    def stmt_node(self, stmt, kind=None, can_raise=True):
+        """Create a node for *stmt*, wiring its implicit exception edge.
+
+        *can_raise* is ``False`` for header nodes that execute nothing
+        themselves (a bare ``try:``) — they get no implicit edge, so
+        state reaching the handler always came from a statement that
+        could actually have raised.
+        """
         if kind is None:
             kind = type(stmt).__name__.lower()
             kind = _KIND_NAMES.get(kind, kind)
         index = self.cfg.add_node(kind, stmt)
-        if self.regions:
+        if can_raise and self.regions:
             region = self.regions[-1]
             if region.swallow is not None:
                 region.swallow.add(index)
             else:
                 for target in region.targets:
-                    self.cfg.add_edge(index, target)
+                    self.cfg.add_edge(index, target, exceptional=True)
+                    self.cfg.interrupted.add((index, target))
         return index
 
     # -- statement lists -----------------------------------------------
@@ -338,13 +411,13 @@ class _Builder:
         if not self.regions:
             # stmt_node wires region targets; outside any region the
             # exception propagates out of the scope.
-            self.cfg.add_edge(node, self.cfg.exit)
+            self.cfg.add_edge(node, self.cfg.exit, exceptional=True)
         return node, set()
 
     # -- exception handling --------------------------------------------
 
     def visit_try(self, stmt, preds):
-        node = self.stmt_node(stmt, "try")
+        node = self.stmt_node(stmt, "try", can_raise=False)
         self.connect(preds, node)
 
         fin = None
@@ -399,15 +472,22 @@ class _Builder:
         # handlers, and — for propagating exceptions and returns —
         # out of the scope entirely.
         for target in self.exceptional_continuations():
-            self.connect(fin.frontier, target)
+            self.connect(fin.frontier, target, exceptional=True)
         return node, set(fin.frontier)
 
     def exceptional_continuations(self):
-        targets = {self.cfg.exit}
+        targets = set()
         if self.regions:
             region = self.regions[-1]
             if region.swallow is None:
                 targets.update(region.targets)
+        if self.finallies:
+            # A propagating exception — and a return routed through
+            # this finally — must run the enclosing finally before it
+            # can leave the scope; it never jumps straight to exit.
+            targets.add(self.finallies[-1].entry)
+        else:
+            targets.add(self.cfg.exit)
         return targets
 
     # -- with blocks ---------------------------------------------------

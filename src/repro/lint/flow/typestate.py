@@ -1,0 +1,352 @@
+"""Typestate analysis: protocol automata over CFG paths.
+
+A *typestate* protocol says a resource's legal operations depend on
+the state prior operations left it in: a shared-memory handle may be
+attached while published but not after unpublish; a journal handle
+must see ``write -> flush -> fsync`` before it closes.  This module
+runs a worklist solve with a states-of-an-automaton lattice: each
+tracked variable maps to the *set* of protocol states it may be in at
+a program point (the powerset join makes merges at CFG confluences
+conservative), and a :class:`TypestateSpec` supplies the automaton.
+The solver is edge-aware where it matters: an exceptional edge leaving
+an acquiring statement carries the *pre-acquisition* state, because a
+``publish_plan`` call that raised never bound its handle.
+
+A spec contributes:
+
+* :meth:`~TypestateSpec.acquisitions` — statements that bind a fresh
+  tracked resource to a plain name (``h = publish_plan(p)``,
+  ``with open(p, "a") as h:``);
+* :meth:`~TypestateSpec.events` — operations a statement performs on
+  named resources (``h.flush()``, ``unpublish_plan(h)``);
+* :meth:`~TypestateSpec.transition` — the automaton:
+  ``(state, op) -> new state``, or ``None`` for an illegal operation
+  (reported at the operating statement);
+* :attr:`~TypestateSpec.final_states` — states a resource may hold
+  when the scope exits; anything else still live at ``exit`` is a
+  leak, reported at the acquisition with a witness path.
+
+Escape hatches keep the analysis honest rather than noisy: a tracked
+name that is returned, yielded, re-bound, aliased, stored into a
+container/attribute, passed to a call the spec does not recognise, or
+called through an unrecognised method moves to the :data:`ESCAPED`
+state and is never reported — ownership demonstrably left the scope,
+which is exactly the ``handles[key] = publish_plan(...)``-then-
+``finally`` pattern of the real sweep code.  Pure attribute *reads*
+(``handle.kind``, ``attached.plan``) do not escape: they cannot
+transfer ownership or change protocol state, and exempting them keeps
+assertions and layout lookups from blinding the analysis.
+Specs may resolve module-local helpers interprocedurally (via
+:class:`~repro.lint.flow.summaries.ModuleSummaries` in
+:meth:`~TypestateSpec.prepare`) so a wrapper that transitively
+releases a resource counts as the release itself, not an escape.
+
+Exception edges are part of the path set by default
+(:attr:`~TypestateSpec.include_exceptional`); a spec whose protocol
+treats in-flight exceptions as the crash model (journal writes) sets
+it ``False`` and is solved over :meth:`CFG.without_exceptional`.
+"""
+
+import ast
+
+from repro.lint.flow.cfg import build_cfg, iter_scopes
+from repro.lint.flow.dataflow import bindings, own_expressions
+
+#: Absorbing state for resources whose ownership left the scope.
+ESCAPED = "<escaped>"
+
+_EMPTY = frozenset()
+
+
+def _ownership_mentions(expr):
+    """Names used in ways that may transfer ownership or mutate state.
+
+    A bare ``h`` (returned, passed as an argument, aliased, subscripted)
+    and a method call ``h.anything(...)`` both count; a pure attribute
+    read ``h.attr`` does not — it cannot move the resource through the
+    protocol, so tracking survives assertions like ``h.kind == "shm"``.
+    """
+    mentions = set()
+
+    def visit(node, call_func=False):
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name):
+                if call_func:
+                    mentions.add(node.value.id)
+                return
+            visit(node.value, False)
+            return
+        if isinstance(node, ast.Call):
+            visit(node.func, True)
+            for arg in node.args:
+                visit(arg, False)
+            for keyword in node.keywords:
+                visit(keyword.value, False)
+            return
+        if isinstance(node, ast.Name):
+            mentions.add(node.id)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, False)
+
+    visit(expr)
+    return mentions
+
+
+class Event:
+    """One protocol operation a statement performs on a tracked name."""
+
+    __slots__ = ("var", "op", "lineno")
+
+    def __init__(self, var, op, lineno):
+        self.var = var
+        self.op = op
+        self.lineno = lineno
+
+
+class TypestateSpec:
+    """One protocol automaton; subclass per pass."""
+
+    #: Protocol name used in messages.
+    name = "resource"
+    #: States legal at scope exit (beside :data:`ESCAPED`).
+    final_states = frozenset()
+    #: Ops that release the resource — witness paths avoid them.
+    release_ops = frozenset()
+    #: Whether exception edges participate in the path set.
+    include_exceptional = True
+
+    def prepare(self, tree):
+        """Per-module setup (e.g. build :class:`ModuleSummaries`)."""
+
+    def acquisitions(self, stmt):
+        """``[(var, initial_state)]`` resources *stmt* binds."""
+        return ()
+
+    def events(self, stmt):
+        """:class:`Event` operations *stmt* performs."""
+        return ()
+
+    def transition(self, state, op):
+        """New state, or ``None`` when *op* is illegal in *state*."""
+        raise NotImplementedError
+
+    def violation_message(self, var, state, op):
+        """Message for an illegal *op* on *var* in *state*."""
+        return (
+            f"{self.name} {var!r} does not allow {op} in state {state}"
+        )
+
+    def leak_message(self, var, state, path):
+        """Message for *var* still live (in *state*) at scope exit."""
+        return (
+            f"{self.name} {var!r} may reach the scope exit in state"
+            f" {state} (via {path})"
+        )
+
+
+class _Scope:
+    """Precomputed per-statement facts for one CFG."""
+
+    def __init__(self, cfg, spec):
+        self.cfg = cfg
+        self.spec = spec
+        self.acquired = {}   # node -> [(var, state)]
+        self.events = {}     # node -> [Event]
+        self.mentions = {}   # node -> names the stmt's expressions read
+        self.bound = {}      # node -> names the stmt re-binds
+        for node in cfg.statement_nodes():
+            stmt = cfg.nodes[node]
+            acquired = list(spec.acquisitions(stmt))
+            events = list(spec.events(stmt))
+            self.acquired[node] = acquired
+            self.events[node] = events
+            covered = {event.var for event in events}
+            covered |= {var for var, _state in acquired}
+            mentions = set()
+            for expr in own_expressions(stmt):
+                mentions |= _ownership_mentions(expr)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                # Nested scopes are opaque single nodes here: anything
+                # they close over escapes this scope's tracking.
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Name):
+                        mentions.add(sub.id)
+            self.mentions[node] = mentions - covered
+            bound = set()
+            for names, _value, _aug in bindings(stmt):
+                bound.update(names)
+            self.bound[node] = bound - {var for var, _s in acquired}
+
+    def transfer(self, node, state, acquisitions=True):
+        out = dict(state)
+        stmt = self.cfg.nodes[node]
+        if stmt is None:
+            return out
+        # 1. protocol events move states (illegal ops keep the state:
+        #    the violation is reported once, at the statement, during
+        #    the reporting walk — an absorbing error state would hide
+        #    later, distinct violations on the same path).
+        for event in self.events[node]:
+            states = out.get(event.var)
+            if states is None:
+                continue
+            moved = set()
+            for current in states:
+                if current == ESCAPED:
+                    moved.add(ESCAPED)
+                    continue
+                target = self.spec.transition(current, event.op)
+                moved.add(current if target is None else target)
+            out[event.var] = frozenset(moved)
+        # 2. unrecognised uses and re-bindings escape.
+        for var in self.mentions[node]:
+            if var in out:
+                out[var] = frozenset({ESCAPED})
+        for var in self.bound[node]:
+            if var in out:
+                out[var] = frozenset({ESCAPED})
+        # 3. acquisitions (re)start tracking.
+        if acquisitions:
+            for var, initial in self.acquired[node]:
+                out[var] = frozenset({initial})
+        return out
+
+
+def _merge_into(target, delta):
+    """Join *delta* into per-variable state map *target*; True if grew."""
+    changed = False
+    for var, states in delta.items():
+        merged = target.get(var, _EMPTY) | states
+        if merged != target.get(var, _EMPTY):
+            target[var] = merged
+            changed = True
+    return changed
+
+
+def _solve(view, scope):
+    """Edge-aware worklist solve of *scope* over *view*.
+
+    Unlike the generic :func:`~repro.lint.flow.dataflow.solve_forward`,
+    *interrupted* out-edges — the implicit statement-to-handler edges,
+    where the statement may have raised part-way through — propagate
+    the statement's post-state **without its acquisitions**: when ``h =
+    publish_plan(p)`` itself raises, nothing was ever bound to ``h``,
+    so the handler path must not be asked to release it.  Protocol
+    *events* are kept even on interrupted edges — a release call is
+    assumed atomic (it released or it raised before doing anything
+    observable); modelling "``close()`` raised halfway" would flag
+    every ``finally``-block release nested inside another handler
+    region, which is noise, not signal.  Other exceptional edges — a
+    ``finally`` frontier's continuation, an explicit ``raise``'s jump —
+    leave statements that ran to completion, so they carry the
+    ordinary post-state: the release inside a ``finally`` *did* happen
+    even when an exception is propagating past it.
+    """
+    in_states = [dict() for _ in view.nodes]
+    visited = set()
+    worklist = [view.entry]
+    while worklist:
+        node = worklist.pop()
+        visited.add(node)
+        state = in_states[node]
+        out_normal = scope.transfer(node, state)
+        out_interrupted = None
+        for succ in view.succ[node]:
+            if (node, succ) in view.interrupted:
+                if out_interrupted is None:
+                    out_interrupted = scope.transfer(
+                        node, state, acquisitions=False
+                    )
+                delta = out_interrupted
+            else:
+                delta = out_normal
+            if _merge_into(in_states[succ], delta) or succ not in visited:
+                worklist.append(succ)
+    return in_states
+
+
+def check_scope(cfg, spec):
+    """Yield ``(lineno, message)`` protocol findings for one scope."""
+    scope = _Scope(cfg, spec)
+    if not any(scope.acquired.values()):
+        return
+    view = cfg if spec.include_exceptional else cfg.without_exceptional()
+    in_states = _solve(view, scope)
+
+    # Illegal operations, at their statement.
+    for node in cfg.statement_nodes():
+        for event in scope.events[node]:
+            states = in_states[node].get(event.var, _EMPTY)
+            for current in sorted(states - {ESCAPED}):
+                if spec.transition(current, event.op) is None:
+                    yield event.lineno, spec.violation_message(
+                        event.var, current, event.op
+                    )
+
+    # Leaks: non-final states reaching the scope exit.
+    allowed = spec.final_states | {ESCAPED}
+    exit_state = in_states[view.exit]
+    reported = set()
+    for node in cfg.statement_nodes():
+        for var, _initial in scope.acquired[node]:
+            if var in reported:
+                continue
+            leaked = sorted(exit_state.get(var, _EMPTY) - allowed)
+            if not leaked:
+                continue
+            reported.add(var)
+            path = _witness_path(view, scope, node, var)
+            yield cfg.nodes[node].lineno, spec.leak_message(
+                var, leaked[0], path
+            )
+
+
+def _witness_path(view, scope, start, var):
+    """A shortest release-free path from the acquisition to ``exit``.
+
+    Names the leaking CFG path in the finding: the line numbers control
+    flows through without ever releasing (or escaping) *var*.
+    """
+    blocked = set()
+    for node in view.statement_nodes():
+        if var in scope.mentions[node] or var in scope.bound[node]:
+            blocked.add(node)
+        for event in scope.events[node]:
+            if event.var == var and event.op in scope.spec.release_ops:
+                blocked.add(node)
+    parents = {start: None}
+    queue = [start]
+    while queue:
+        node = queue.pop(0)
+        if node == view.exit:
+            break
+        for succ in view.succ[node]:
+            if succ not in parents and succ not in blocked:
+                parents[succ] = node
+                queue.append(succ)
+    if view.exit not in parents:
+        return "an unreleased path"
+    chain = []
+    cursor = parents[view.exit]
+    while cursor is not None and cursor != start:
+        stmt = view.nodes[cursor]
+        if stmt is not None:
+            chain.append(stmt.lineno)
+        cursor = parents[cursor]
+    chain.reverse()
+    if not chain:
+        return "the straight-line path to the scope exit"
+    if len(chain) > 6:
+        chain = chain[:3] + ["..."] + chain[-2:]
+    steps = " -> ".join(str(line) for line in chain)
+    return f"lines {steps} -> exit"
+
+
+def check_module_scopes(tree, spec):
+    """Run *spec* over every scope of a module; yields findings."""
+    spec.prepare(tree)
+    for scope_name, scope in iter_scopes(tree):
+        cfg = build_cfg(scope, name=scope_name)
+        yield from check_scope(cfg, spec)

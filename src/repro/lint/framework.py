@@ -122,6 +122,19 @@ class Project:
                 return module
         return None
 
+    def read_text(self, relpath):
+        """Text of any file under the root, or ``None`` when absent.
+
+        The walk only parses ``*.py``, but cross-language passes also
+        need the raw text of non-Python sources (the C kernel); the
+        same ``\\r\\n`` normalisation as :class:`ModuleInfo` applies so
+        extracted line content compares stably across checkouts.
+        """
+        path = self.root / relpath
+        if not path.is_file():
+            return None
+        return path.read_text().replace("\r\n", "\n")
+
 
 class LintPass:
     """Base class for one enforced invariant.

@@ -1,4 +1,4 @@
-"""Pinned content hashes for frozen files.
+"""Pinned content hashes and schema fingerprints for frozen contracts.
 
 ``repro.core.mlpsim_reference`` is the pre-optimization MLPsim engine,
 kept bit-identical as the oracle for the engine-equivalence suite
@@ -8,8 +8,16 @@ value pinned here.  An edit to the oracle therefore requires an edit
 to this manifest in the same commit — an explicit, reviewable act
 rather than a quiet drive-by change.
 
-The hash is computed over the file text with ``\\r\\n`` normalised to
-``\\n``, so checkouts with translated line endings still verify.
+The columnar plan payload (PR 7) gets the same treatment: the
+``schema-version`` pass fingerprints the column set ``plan_payload``
+packs and compares it against the pin below, so changing the payload
+layout without bumping ``COLUMNAR_SCHEMA_VERSION`` (or bumping the
+version without regenerating this manifest) fails the build.
+
+Hashes are computed over text with ``\\r\\n`` normalised to ``\\n``, so
+checkouts with translated line endings still verify.  Regenerate this
+file with ``repro lint --manifest-update`` (see
+``docs/STATIC_ANALYSIS.md``), never by hand.
 """
 
 #: Root-relative path of the frozen reference engine.
@@ -18,4 +26,18 @@ ORACLE_PATH = "src/repro/core/mlpsim_reference.py"
 #: SHA-256 of the oracle's (newline-normalised) content.
 ORACLE_SHA256 = (
     "b2188eacade21d0d3b056dbe43b99a7ff76fe5d4eee82013fa085dcc6443e961"
+)
+
+#: Root-relative path of the columnar plan module.
+PAYLOAD_SCHEMA_PATH = "src/repro/core/columnar.py"
+
+#: The COLUMNAR_SCHEMA_VERSION the fingerprint below was pinned at.
+PAYLOAD_SCHEMA_VERSION = 1
+
+#: SHA-256 fingerprint of the plan_payload column set: one
+#: ``name:dtype`` line per PLAN_COLUMNS entry in order, then one
+#: ``+key`` line per extra payload record (see
+#: ``repro.lint.clang_parity.pyextract.schema_fingerprint``).
+PAYLOAD_SCHEMA_SHA256 = (
+    "a87855d9fd2a0280ba265a04dd00f87ee187e4dad46f929142ccfbbf17c5d3ca"
 )

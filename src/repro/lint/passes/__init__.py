@@ -13,8 +13,14 @@ from repro.lint.passes import (  # noqa: F401  (imported for registration)
     error_hierarchy,
     exhibit_registry,
     frozen_oracle,
+    journal_protocol,
+    kernel_abi,
+    kernel_constants,
     resource_paths,
+    schema_version,
     seed_provenance,
+    shm_lifetime,
+    signal_safety,
     sweep_race,
     unreachable_code,
 )

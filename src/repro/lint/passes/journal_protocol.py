@@ -1,0 +1,226 @@
+"""journal-protocol: append handles must write→flush→fsync, in order.
+
+The sweep journal's crash-safety argument
+(:mod:`repro.robustness.journal`) rests on one ordering: every
+appended record is **written**, then **flushed** (user-space buffer to
+the kernel), then **fsynced** (kernel to disk) before the supervisor
+acts on it.  Skip the flush and the fsync syncs a file the record has
+not reached; skip the fsync and a machine crash silently loses a
+record the supervisor already trusted.  Both failure modes pass every
+test that does not cut power.
+
+This pass runs a typestate automaton over every handle opened in
+append mode (``open(path, "a")`` — the journal's signature; read-side
+and truncating opens are out of scope)::
+
+    opened --write--> dirty --flush--> flushed --fsync--> synced
+
+and reports:
+
+* ``fsync`` while **dirty** (flush was skipped — the fsync is a no-op
+  for the buffered record);
+* ``close``/scope-exit while **dirty** or **flushed** (the record is
+  not durable; a crash after the supervisor proceeds loses it);
+* any write-family operation after ``close``;
+* any read-family operation on the append handle — replaying a
+  journal through its own append handle reads nothing (``"a"`` is
+  write-only) and papers over a missing re-open.
+
+The automaton is solved over the **normal-edge** CFG view
+(:meth:`~repro.lint.flow.cfg.CFG.without_exceptional`): an exception
+racing a half-appended record *is the crash model* — the torn tail
+replay is designed to discard — so exception paths that abandon a
+dirty handle are correct behaviour, not findings.  (Leaked handles on
+exception paths are ``resource-paths``' jurisdiction.)
+"""
+
+import ast
+
+from repro.lint.astutil import call_name, open_write_mode
+from repro.lint.flow.dataflow import own_expressions
+from repro.lint.flow.typestate import (
+    Event,
+    TypestateSpec,
+    check_module_scopes,
+)
+from repro.lint.framework import LintPass, register
+
+#: Callees that return an open file handle (append-mode acquisition).
+_OPENERS = frozenset({"open", "io.open", "os.fdopen", "codecs.open"})
+
+_WRITE_METHODS = frozenset({"write", "writelines"})
+_READ_METHODS = frozenset({
+    "read", "readline", "readlines", "readinto", "readall",
+})
+#: Benign probes that do not move the automaton.
+_QUERY_METHODS = frozenset({
+    "fileno", "tell", "seek", "isatty", "readable", "writable",
+    "seekable",
+})
+
+#: (state, op) -> new state.  Missing pairs are protocol violations.
+_TRANSITIONS = {
+    ("opened", "write"): "dirty",
+    ("opened", "flush"): "flushed",
+    ("opened", "fsync"): "synced",    # nothing buffered: harmless
+    ("opened", "close"): "closed",
+    ("opened", "query"): "opened",
+    ("dirty", "write"): "dirty",
+    ("dirty", "flush"): "flushed",
+    ("dirty", "query"): "dirty",
+    ("flushed", "write"): "dirty",
+    ("flushed", "flush"): "flushed",
+    ("flushed", "fsync"): "synced",
+    ("flushed", "query"): "flushed",
+    ("synced", "write"): "dirty",
+    ("synced", "flush"): "synced",
+    ("synced", "fsync"): "synced",
+    ("synced", "close"): "closed",
+    ("synced", "query"): "synced",
+    ("closed", "close"): "closed",    # double close is a no-op
+}
+
+_VIOLATION_DETAIL = {
+    ("dirty", "fsync"): (
+        "fsync before flush(): the record is still in the user-space"
+        " buffer, so the fsync makes nothing durable"
+    ),
+    ("dirty", "close"): (
+        "closed with an unflushed, unsynced record: a crash after this"
+        " point silently loses a journal entry the supervisor already"
+        " acted on"
+    ),
+    ("flushed", "close"): (
+        "closed without fsync: the record is in the kernel but not on"
+        " disk, so a machine crash still loses it"
+    ),
+    ("closed", "write"): "write after close",
+    ("closed", "flush"): "flush after close",
+    ("closed", "fsync"): "fsync after close",
+    ("closed", "query"): "use after close",
+}
+
+
+class JournalProtocolSpec(TypestateSpec):
+    name = "append journal handle"
+    final_states = frozenset({"opened", "synced", "closed"})
+    release_ops = frozenset({"flush", "fsync", "close"})
+    include_exceptional = False
+
+    # -- acquisitions ---------------------------------------------------
+
+    def acquisitions(self, stmt):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and self._append_open(stmt.value):
+            return ((stmt.targets[0].id, "opened"),)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            acquired = []
+            for item in stmt.items:
+                if self._append_open(item.context_expr) and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    acquired.append((item.optional_vars.id, "opened"))
+            return acquired
+        return ()
+
+    @staticmethod
+    def _append_open(node):
+        if not (isinstance(node, ast.Call)
+                and call_name(node) in _OPENERS):
+            return False
+        mode = open_write_mode(node)
+        return mode is not None and "a" in mode
+
+    # -- events ---------------------------------------------------------
+
+    def events(self, stmt):
+        events = []
+        for expr in own_expressions(stmt):
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.Call):
+                    continue
+                # os.fsync(handle.fileno()) — the protocol's sync step.
+                if call_name(node) in ("os.fsync", "fsync"):
+                    for arg in node.args:
+                        receiver = self._fileno_receiver(arg)
+                        if receiver is not None:
+                            events.append(Event(
+                                receiver, "fsync", node.lineno
+                            ))
+                    continue
+                func = node.func
+                if not (isinstance(func, ast.Attribute)
+                        and isinstance(func.value, ast.Name)):
+                    continue
+                var, method = func.value.id, func.attr
+                if method in _WRITE_METHODS:
+                    events.append(Event(var, "write", node.lineno))
+                elif method == "flush":
+                    events.append(Event(var, "flush", node.lineno))
+                elif method == "close":
+                    events.append(Event(var, "close", node.lineno))
+                elif method in _READ_METHODS:
+                    events.append(Event(var, "read", node.lineno))
+                elif method in _QUERY_METHODS:
+                    events.append(Event(var, "query", node.lineno))
+        return events
+
+    @staticmethod
+    def _fileno_receiver(arg):
+        """``handle`` out of ``handle.fileno()`` (or a bare ``fd`` name)."""
+        if isinstance(arg, ast.Call) and isinstance(
+            arg.func, ast.Attribute
+        ) and arg.func.attr == "fileno" and isinstance(
+            arg.func.value, ast.Name
+        ):
+            return arg.func.value.id
+        if isinstance(arg, ast.Name):
+            return arg.id
+        return None
+
+    # -- automaton ------------------------------------------------------
+
+    def transition(self, state, op):
+        return _TRANSITIONS.get((state, op))
+
+    def violation_message(self, var, state, op):
+        if op == "read":
+            return (
+                f"read from append-mode journal handle {var!r}:"
+                " \"a\" handles are write-only, so a replay through"
+                " this handle reads nothing — re-open the journal for"
+                " reading instead"
+            )
+        detail = _VIOLATION_DETAIL.get(
+            (state, op),
+            f"the append protocol does not allow {op} in state {state}",
+        )
+        return f"{op} on journal handle {var!r}: {detail}"
+
+    def leak_message(self, var, state, path):
+        missing = "flush() and os.fsync()" if state == "dirty" \
+            else "os.fsync()"
+        return (
+            f"append journal handle {var!r} may exit the scope without"
+            f" {missing} (normal path: {path}); the last record is not"
+            " durable, so a crash loses an entry the caller believes"
+            " journalled"
+        )
+
+
+@register
+class JournalProtocolPass(LintPass):
+    id = "journal-protocol"
+    description = (
+        "append-mode journal handles must write→flush→fsync in order,"
+        " never write after close, never read through the append handle"
+    )
+
+    def check_module(self, module, project):
+        if "\"a\"" not in module.source and "'a'" not in module.source:
+            return  # no append-mode literal anywhere: nothing to acquire
+        for lineno, message in check_module_scopes(
+            module.tree, JournalProtocolSpec()
+        ):
+            yield self.finding(module, lineno, message)

@@ -1,0 +1,190 @@
+"""kernel-abi: ctypes layouts and argtypes must match the C kernel.
+
+``ckernel.py`` drives ``_mlpsim_kernel.c`` through :mod:`ctypes`:
+``_KernelConfig``/``_KernelResult`` mirror the ``typedef struct``
+layouts and ``mlpsim_batch.argtypes`` mirrors the function prototype.
+Nothing checks any of it at runtime — ctypes trusts the caller, so a
+reordered or retyped field silently reads the wrong bytes and the
+equivalence suite turns into a debugging session (or, worse, passes on
+one compiler's padding and fails on another's).
+
+This pass extracts both sides (:mod:`repro.lint.clang_parity`) and
+diffs them:
+
+* every ctypes ``_fields_`` entry must match the C struct member at
+  the same position — name, scalar type (``c_int64`` ↔ ``int64_t``),
+  and array-ness;
+* ``argtypes`` must match the C parameter list position by position
+  (``c_void_p`` matches any pointer; ``POINTER(_X)`` matches ``X *``)
+  and ``restype`` the C return type;
+* a missing C source next to a live ``ckernel.py`` is itself a
+  finding — deleting the kernel must not silently pass.
+
+One finding per structure/prototype (the first mismatching position),
+naming the Python and C lines of the disagreeing pair.
+"""
+
+import re
+
+from repro.lint.clang_parity.cextract import extract_c
+from repro.lint.clang_parity.pyextract import argtypes_wiring, ctypes_structs
+from repro.lint.framework import LintPass, register
+
+C_KERNEL_PATH = "src/repro/core/_mlpsim_kernel.c"
+CKERNEL_PATH = "src/repro/core/ckernel.py"
+
+#: ctypes scalar names and the C spellings they bind to.
+_SCALARS = {
+    "c_int8": "int8_t", "c_uint8": "uint8_t",
+    "c_int16": "int16_t", "c_uint16": "uint16_t",
+    "c_int32": "int32_t", "c_uint32": "uint32_t",
+    "c_int64": "int64_t", "c_uint64": "uint64_t",
+    "c_int": "int", "c_long": "long", "c_size_t": "size_t",
+    "c_float": "float", "c_double": "double", "c_char": "char",
+}
+
+#: Python struct name -> C struct name (underscore-private convention).
+_STRUCT_PAIRS = (
+    ("_KernelConfig", "KernelConfig"),
+    ("_KernelResult", "KernelResult"),
+)
+
+_C_ENTRY_POINT = "mlpsim_batch"
+
+
+def _bare_ctype(c_type):
+    """The C type with ``const`` qualifiers dropped."""
+    return " ".join(token for token in c_type.split() if token != "const")
+
+
+def _scalar_matches(py_ctype, c_type):
+    bare = _bare_ctype(c_type)
+    if py_ctype == "c_void_p":
+        return bare.endswith("*")
+    pointer = re.fullmatch(r"POINTER\((\w+)\)", py_ctype or "")
+    if pointer:
+        target = pointer.group(1)
+        return bare in (f"{target} *", f"{target.lstrip('_')} *")
+    return _SCALARS.get(py_ctype) == bare
+
+
+@register
+class KernelAbiPass(LintPass):
+    id = "kernel-abi"
+    description = (
+        "ctypes struct layouts and argtypes in ckernel.py must match"
+        " the structs and prototypes of _mlpsim_kernel.c"
+    )
+
+    def check_project(self, project):
+        ck = project.module(CKERNEL_PATH)
+        if ck is None or ck.tree is None:
+            return
+        c_source = project.read_text(C_KERNEL_PATH)
+        if c_source is None:
+            yield self.finding(
+                ck, 1,
+                f"{C_KERNEL_PATH} is missing: ckernel.py binds a C"
+                " kernel that is not in the tree",
+            )
+            return
+        extract = extract_c(c_source)
+        py_structs = ctypes_structs(ck.tree)
+        for py_name, c_name in _STRUCT_PAIRS:
+            py_struct = py_structs.get(py_name)
+            if py_struct is None:
+                continue
+            yield from self._check_struct(ck, py_struct, c_name,
+                                          extract.structs.get(c_name))
+        yield from self._check_prototype(ck, extract)
+
+    # -- struct layouts ------------------------------------------------
+
+    def _check_struct(self, ck, py_struct, c_name, c_struct):
+        if c_struct is None:
+            yield self.finding(
+                ck, py_struct.lineno,
+                f"no `typedef struct ... {c_name};` found in"
+                f" {C_KERNEL_PATH} for ctypes layout {py_struct.name}",
+            )
+            return
+        for position, (py_field, c_field) in enumerate(
+            zip(py_struct.fields, c_struct.fields)
+        ):
+            problem = None
+            if py_field.name != c_field.name:
+                problem = (
+                    f"is {py_field.name!r} but the C struct declares"
+                    f" {c_field.name!r}"
+                )
+            elif (py_field.array_len is None) != (c_field.array_len is None):
+                py_kind = "an array" if py_field.array_len else "a scalar"
+                c_kind = "an array" if c_field.array_len else "a scalar"
+                problem = f"is {py_kind} but the C struct declares {c_kind}"
+            elif not _scalar_matches(py_field.ctype, c_field.ctype):
+                problem = (
+                    f"has ctypes type {py_field.ctype} but the C struct"
+                    f" declares {c_field.ctype}"
+                )
+            if problem is not None:
+                yield self.finding(
+                    ck, py_field.lineno,
+                    f"{py_struct.name} field #{position}"
+                    f" ({py_field.name!r}) {problem}"
+                    f" ({C_KERNEL_PATH}:{c_field.lineno}); ctypes reads"
+                    " raw offsets, so the layouts must match"
+                    " field-for-field",
+                )
+                return
+        if len(py_struct.fields) != len(c_struct.fields):
+            yield self.finding(
+                ck, py_struct.lineno,
+                f"{py_struct.name} has {len(py_struct.fields)} fields"
+                f" but {c_name} has {len(c_struct.fields)}"
+                f" ({C_KERNEL_PATH}:{c_struct.lineno})",
+            )
+
+    # -- function prototype --------------------------------------------
+
+    def _check_prototype(self, ck, extract):
+        wirings = argtypes_wiring(ck.tree)
+        if not wirings:
+            return
+        c_fn = extract.functions.get(_C_ENTRY_POINT)
+        if c_fn is None:
+            yield self.finding(
+                ck, wirings[0].lineno,
+                f"argtypes are wired but no exported {_C_ENTRY_POINT}()"
+                f" definition was extracted from {C_KERNEL_PATH}",
+            )
+            return
+        for wiring in wirings:
+            if len(wiring.argtypes) != len(c_fn.params):
+                yield self.finding(
+                    ck, wiring.lineno,
+                    f"argtypes lists {len(wiring.argtypes)} parameters"
+                    f" but {_C_ENTRY_POINT} takes {len(c_fn.params)}"
+                    f" ({C_KERNEL_PATH}:{c_fn.lineno})",
+                )
+                continue
+            for position, ((py_ctype, py_lineno), (c_type, c_param)) in \
+                    enumerate(zip(wiring.argtypes, c_fn.params)):
+                if not _scalar_matches(py_ctype, c_type):
+                    yield self.finding(
+                        ck, py_lineno,
+                        f"argtypes[{position}] is {py_ctype} but"
+                        f" {_C_ENTRY_POINT} parameter"
+                        f" {c_param or position} is {c_type}"
+                        f" ({C_KERNEL_PATH}:{c_fn.lineno})",
+                    )
+                    break
+            else:
+                if wiring.restype is not None and not _scalar_matches(
+                    wiring.restype, c_fn.return_type
+                ):
+                    yield self.finding(
+                        ck, wiring.restype_lineno or wiring.lineno,
+                        f"restype is {wiring.restype} but"
+                        f" {_C_ENTRY_POINT} returns {c_fn.return_type}"
+                        f" ({C_KERNEL_PATH}:{c_fn.lineno})",
+                    )

@@ -1,0 +1,102 @@
+"""schema-version: payload layout changes must bump the schema version.
+
+The columnar plan payload (:func:`repro.core.columnar.plan_payload`)
+is persisted — spilled to workers over shared memory, written into the
+annotation disk cache keyed on ``COLUMNAR_SCHEMA_VERSION``.  Adding,
+removing, reordering or retyping a column while leaving the version
+number alone lets a new build deserialize stale cached payloads as if
+they were current: not a crash, a silent mis-read.
+
+The pass extracts the column set ``plan_payload`` packs (the
+``PLAN_COLUMNS`` table plus any extra literal keys the function
+stores), fingerprints it, and compares fingerprint and declared
+version against the pins in :mod:`repro.lint.manifest`:
+
+===================  ==================  ===============================
+fingerprint          declared version    meaning
+===================  ==================  ===============================
+matches pin          matches pin         clean
+differs              matches pin         **schema changed without a
+                                         version bump** — the bug this
+                                         pass exists for
+differs              differs             schema changed and version
+                                         bumped: regenerate the manifest
+                                         (``repro lint
+                                         --manifest-update``)
+matches pin          differs             version bumped with no schema
+                                         change, or a stale manifest
+===================  ==================  ===============================
+
+Exactly one finding per state, so a mutated column set points at one
+line (the ``PLAN_COLUMNS`` table) with one instruction.
+"""
+
+from repro.lint import manifest
+from repro.lint.clang_parity.pyextract import (
+    int_constant,
+    payload_extras,
+    plan_columns,
+    schema_fingerprint,
+)
+from repro.lint.framework import LintPass, register
+
+
+@register
+class SchemaVersionPass(LintPass):
+    id = "schema-version"
+    description = (
+        "the plan_payload column set is fingerprinted in the lint"
+        " manifest; changing it requires a COLUMNAR_SCHEMA_VERSION bump"
+    )
+
+    def check_project(self, project):
+        module = project.module(manifest.PAYLOAD_SCHEMA_PATH)
+        if module is None or module.tree is None:
+            return
+        columns = plan_columns(module.tree)
+        version = int_constant(module.tree, "COLUMNAR_SCHEMA_VERSION")
+        if columns is None or version is None:
+            missing = ("PLAN_COLUMNS" if columns is None
+                       else "COLUMNAR_SCHEMA_VERSION")
+            yield self.finding(
+                module, 1,
+                f"could not extract {missing} from"
+                f" {manifest.PAYLOAD_SCHEMA_PATH}; the payload schema"
+                " cannot be verified against the manifest",
+            )
+            return
+        column_list, columns_lineno = columns
+        declared_version, version_lineno = version
+        fingerprint = schema_fingerprint(
+            column_list, payload_extras(module.tree)
+        )
+        fingerprint_ok = fingerprint == manifest.PAYLOAD_SCHEMA_SHA256
+        version_ok = declared_version == manifest.PAYLOAD_SCHEMA_VERSION
+        if fingerprint_ok and version_ok:
+            return
+        if not fingerprint_ok and version_ok:
+            yield self.finding(
+                module, columns_lineno,
+                "the plan_payload column set changed but"
+                f" COLUMNAR_SCHEMA_VERSION is still {declared_version}:"
+                " cached payloads written under the old layout would"
+                " deserialize silently as the new one — bump the"
+                " version, then run `repro lint --manifest-update`",
+            )
+        elif not fingerprint_ok:
+            yield self.finding(
+                module, columns_lineno,
+                "the plan_payload column set changed and the version was"
+                f" bumped to {declared_version}; regenerate the pinned"
+                " fingerprint with `repro lint --manifest-update` in the"
+                " same reviewed change",
+            )
+        else:
+            yield self.finding(
+                module, version_lineno,
+                f"COLUMNAR_SCHEMA_VERSION is {declared_version} but the"
+                f" manifest pins {manifest.PAYLOAD_SCHEMA_VERSION} for"
+                " an unchanged column set: either revert the bump or run"
+                " `repro lint --manifest-update` after the schema edit"
+                " it was meant for",
+            )

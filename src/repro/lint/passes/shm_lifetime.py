@@ -1,0 +1,236 @@
+"""shm-lifetime: published plans must be released on every CFG path.
+
+The zero-copy sweep protocol (:mod:`repro.analysis.shm`) is
+parent-owned: whoever calls ``publish_plan`` must ``unpublish_plan``
+the handle on *every* exit path — success, failure, and killed-worker
+paths alike — or the segment outlives the process in ``/dev/shm``
+until reboot.  Attachments (``attach_plan``) must reach ``close()``
+the same way, and a raw ``SharedMemory(create=True)`` segment must
+reach ``unlink()``.  The contract is documented and tested, but
+nothing enforced it at new call sites; this pass runs the typestate
+engine (:mod:`repro.lint.flow.typestate`) over every scope, exception
+edges included, and reports:
+
+* a **leak**: an acquisition from which some CFG path reaches the
+  scope exit without the matching release — the finding names the
+  leaking path's line numbers;
+* a **use after release**: ``attach_plan`` on a handle after
+  ``unpublish_plan`` (the segment is gone; workers would die), or any
+  operation on an already-unlinked segment.
+
+Ownership transfers are respected, not flagged: a handle that is
+returned, stored into a container (``handles[key] = publish_plan(...)``
+— the real sweep's pattern, released in its ``finally``), aliased or
+passed to an unrecognised call leaves the scope's responsibility.
+Module-local helpers that transitively call ``unpublish_plan`` count
+as releases at their call sites (resolved through
+:class:`~repro.lint.flow.summaries.ModuleSummaries`), so wrapping the
+release in a ``_cleanup()`` helper does not read as an escape.
+"""
+
+import ast
+
+from repro.lint.astutil import call_name
+from repro.lint.flow.dataflow import own_expressions
+from repro.lint.flow.summaries import ModuleSummaries
+from repro.lint.flow.typestate import (
+    Event,
+    TypestateSpec,
+    check_module_scopes,
+)
+from repro.lint.framework import LintPass, register
+
+#: (state, op) -> new state.  Missing pairs are protocol violations.
+_TRANSITIONS = {
+    ("published", "attach"): "published",
+    ("published", "unpublish"): "released",
+    ("published", "query"): "published",
+    ("released", "unpublish"): "released",   # explicitly idempotent
+    ("released", "query"): "released",       # plan_is_published is a probe
+    ("attached", "close"): "detached",
+    ("attached", "query"): "attached",
+    ("detached", "close"): "detached",       # AttachedPlan.close is safe
+    ("detached", "query"): "detached",
+    ("segment-open", "close"): "segment-closed",
+    ("segment-open", "unlink"): "segment-unlinked",
+    ("segment-open", "query"): "segment-open",
+    ("segment-closed", "close"): "segment-closed",
+    ("segment-closed", "unlink"): "segment-unlinked",
+    ("segment-closed", "query"): "segment-closed",
+    ("segment-unlinked", "close"): "segment-unlinked",
+    ("segment-unlinked", "query"): "segment-unlinked",
+}
+
+_LEAK_REMEDY = {
+    "published": (
+        "never reaches unpublish_plan(); the /dev/shm segment (or"
+        " spill file) outlives the sweep — release it in a finally"
+        " block"
+    ),
+    "attached": (
+        "never reaches close(); the worker keeps the whole plan"
+        " buffer mapped — close the attachment in a finally block"
+    ),
+    "segment-open": (
+        "never reaches unlink(); the segment persists in /dev/shm"
+        " until reboot"
+    ),
+    "segment-closed": (
+        "is closed but never unlinked; the segment persists in"
+        " /dev/shm until reboot"
+    ),
+}
+
+_VIOLATION_DETAIL = {
+    ("released", "attach"): (
+        "the segment was already unpublished — workers attaching now"
+        " die with TraceFormatError"
+    ),
+    ("segment-unlinked", "unlink"): (
+        "the segment was already unlinked — a second unlink raises"
+    ),
+}
+
+
+def _last_segment(dotted):
+    return dotted.rsplit(".", 1)[-1] if dotted else None
+
+
+def _name_args(call):
+    for arg in call.args:
+        if isinstance(arg, ast.Name):
+            yield arg.id
+
+
+class ShmLifetimeSpec(TypestateSpec):
+    name = "shared plan"
+    final_states = frozenset({"released", "detached", "segment-unlinked"})
+    release_ops = frozenset({"unpublish", "close", "unlink"})
+    include_exceptional = True
+
+    #: Function-call events: callee last segment -> op applied to every
+    #: plain-name argument.
+    _CALL_OPS = {
+        "unpublish_plan": "unpublish",
+        "attach_plan": "attach",
+        "plan_is_published": "query",
+    }
+    #: Method-call events: attribute name -> op on the receiver.
+    _METHOD_OPS = {"close": "close", "unlink": "unlink"}
+
+    def __init__(self):
+        self._release_wrappers = frozenset()
+
+    def prepare(self, tree):
+        """Find module-local helpers that transitively unpublish.
+
+        ``_cleanup(handle)`` wrapping ``unpublish_plan(handle)`` must
+        count as the release itself; otherwise every wrapper call would
+        escape the handle and the pass would go blind exactly where
+        teams consolidate their teardown.
+        """
+        summaries = ModuleSummaries(tree)
+        wrappers = set()
+        for func_name in summaries.functions:
+            for reachable in summaries.transitive_closure(func_name):
+                info = summaries.functions.get(reachable)
+                if info is None:
+                    continue
+                if self._calls_unpublish(info.node):
+                    wrappers.add(func_name)
+                    break
+        self._release_wrappers = frozenset(wrappers)
+
+    @staticmethod
+    def _calls_unpublish(func_node):
+        for node in ast.walk(func_node):
+            if isinstance(node, ast.Call) and \
+                    _last_segment(call_name(node)) == "unpublish_plan":
+                return True
+        return False
+
+    def acquisitions(self, stmt):
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)):
+            return ()
+        var = stmt.targets[0].id
+        callee = _last_segment(call_name(stmt.value))
+        if callee == "publish_plan":
+            return ((var, "published"),)
+        if callee == "attach_plan":
+            return ((var, "attached"),)
+        if callee == "SharedMemory" and any(
+            kw.arg == "create" and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in stmt.value.keywords
+        ):
+            return ((var, "segment-open"),)
+        return ()
+
+    def events(self, stmt):
+        events = []
+        for expr in own_expressions(stmt):
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = call_name(node)
+                last = _last_segment(dotted)
+                op = self._CALL_OPS.get(last)
+                if op is None and last in self._release_wrappers \
+                        and "." not in (dotted or "."):
+                    op = "unpublish"
+                if op is not None:
+                    for var in _name_args(node):
+                        events.append(Event(var, op, node.lineno))
+                    continue
+                func = node.func
+                if isinstance(func, ast.Attribute) and \
+                        isinstance(func.value, ast.Name) and \
+                        func.attr in self._METHOD_OPS:
+                    events.append(Event(
+                        func.value.id, self._METHOD_OPS[func.attr],
+                        node.lineno,
+                    ))
+        return events
+
+    def transition(self, state, op):
+        return _TRANSITIONS.get((state, op))
+
+    def violation_message(self, var, state, op):
+        detail = _VIOLATION_DETAIL.get(
+            (state, op), f"the plan protocol does not allow {op} in"
+                         f" state {state}"
+        )
+        return f"{op} on {var!r} after it reached state {state}: {detail}"
+
+    def leak_message(self, var, state, path):
+        remedy = _LEAK_REMEDY.get(
+            state, f"may exit the scope in state {state}"
+        )
+        return (
+            f"shared plan {var!r} {remedy} (leaking path: {path};"
+            " exception edges count)"
+        )
+
+
+@register
+class ShmLifetimePass(LintPass):
+    id = "shm-lifetime"
+    description = (
+        "publish_plan/attach_plan/SharedMemory acquisitions must reach"
+        " unpublish/close/unlink on every CFG path, exception edges"
+        " included"
+    )
+
+    #: Only modules mentioning the protocol's entry points are solved;
+    #: everything else trivially has no acquisitions.
+    _TRIGGERS = ("publish_plan", "attach_plan", "SharedMemory")
+
+    def check_module(self, module, project):
+        if not any(trigger in module.source for trigger in self._TRIGGERS):
+            return
+        for lineno, message in check_module_scopes(
+            module.tree, ShmLifetimeSpec()
+        ):
+            yield self.finding(module, lineno, message)

@@ -1,0 +1,189 @@
+"""signal-safety: code reachable from a signal handler must be reentrant.
+
+A SIGALRM handler runs *between two bytecodes of whatever the main
+thread was doing* — possibly while it holds a lock, is halfway through
+a buffered write, or is touching the worker pool's bookkeeping.  The
+supervisor's deadline machinery
+(:func:`repro.robustness.supervisor.wall_clock_deadline`) therefore
+keeps its handler to a single ``raise``; this pass enforces that
+discipline wherever a handler is registered.
+
+Registration sites recognised:
+
+* ``signal.signal(SIG, handler)`` — *handler* is the root;
+* ``wall_clock_deadline(seconds, make_error)`` — *make_error* is
+  invoked **from** the handler, so it is a root too.
+
+From each root the pass takes the module-local transitive call closure
+(:class:`~repro.lint.flow.summaries.ModuleSummaries` — nested handler
+functions register under their plain name) and flags, in any reachable
+function or lambda body:
+
+* **lock allocation** (``threading.Lock()`` and friends) — the
+  allocation is cheap, but a handler that makes locks invariably
+  acquires them next, and acquiring against the interrupted holder
+  deadlocks;
+* **lock acquisition** (``.acquire()``) — same deadlock, directly;
+* **non-atomic I/O** (``open``/``os.fdopen``/``print``/``time.sleep``)
+  — interleaves with the interrupted frame's buffered output, or
+  simply never returns in a handler that is supposed to unwind;
+* **calling back into the pool** (``.submit()``, ``.apply_async()``,
+  ``.map_async()``, ``.shutdown()``, ``.terminate()``) — pool state is
+  mutated by the very loop the signal interrupted.  (``.join()`` is
+  deliberately *not* flagged: joining a process from a handler is
+  blocking but consistent, and the supervisor's kill-path does it on
+  purpose from normal code reached after unwinding.)
+
+Handlers that only raise — the supervisor's pattern — pass untouched.
+"""
+
+import ast
+
+from repro.lint.astutil import call_name
+from repro.lint.flow.dataflow import own_expressions
+from repro.lint.flow.summaries import ModuleSummaries, _own_statements
+from repro.lint.framework import LintPass, register
+
+_LOCK_ALLOCATORS = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+})
+
+_IO_CALLS = frozenset({
+    "open", "io.open", "os.fdopen", "codecs.open", "print",
+})
+
+_SLEEP_CALLS = frozenset({"time.sleep", "sleep"})
+
+_POOL_METHODS = frozenset({
+    "submit", "apply_async", "map_async", "shutdown", "terminate",
+})
+
+def _handler_roots(tree):
+    """``(handler_arg_node, registration_lineno)`` for every site."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = call_name(node)
+        if dotted == "signal.signal" and len(node.args) >= 2:
+            yield node.args[1], node.lineno
+        elif dotted is not None and \
+                dotted.rsplit(".", 1)[-1] == "wall_clock_deadline" \
+                and len(node.args) >= 2:
+            yield node.args[1], node.lineno
+
+
+def _classify_call(node):
+    """The unsafe-operation description for *node*, or ``None``."""
+    dotted = call_name(node)
+    if dotted in _LOCK_ALLOCATORS:
+        return (
+            f"allocates a lock ({dotted}); a handler that makes locks"
+            " acquires them next, deadlocking against the interrupted"
+            " holder"
+        )
+    if dotted in _IO_CALLS:
+        return (
+            f"performs non-atomic I/O ({dotted}); it interleaves with"
+            " whatever buffered write the signal interrupted"
+        )
+    if dotted in _SLEEP_CALLS:
+        return (
+            "sleeps; the handler blocks the very thread it is supposed"
+            " to unwind"
+        )
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "acquire":
+            return (
+                "acquires a lock; if the interrupted frame holds it,"
+                " the process deadlocks"
+            )
+        if func.attr in _POOL_METHODS:
+            return (
+                f"calls back into the worker pool (.{func.attr}());"
+                " pool state is mutated by the loop the signal"
+                " interrupted"
+            )
+    return None
+
+
+@register
+class SignalSafetyPass(LintPass):
+    id = "signal-safety"
+    description = (
+        "functions reachable from signal handler registration may not"
+        " allocate/acquire locks, do non-atomic I/O, or call back into"
+        " the worker pool"
+    )
+
+    _TRIGGERS = ("signal.signal", "wall_clock_deadline")
+
+    def check_module(self, module, project):
+        if not any(trigger in module.source for trigger in self._TRIGGERS):
+            return
+        summaries = ModuleSummaries(module.tree)
+        reported = set()  # (lineno, message): roots may share callees
+        for handler, registration_line in _handler_roots(module.tree):
+            for finding in self._check_root(
+                module, summaries, handler, registration_line
+            ):
+                key = (finding.line, finding.message)
+                if key not in reported:
+                    reported.add(key)
+                    yield finding
+
+    def _check_root(self, module, summaries, handler, registration_line):
+        roots = []
+        inline_bodies = []
+        if isinstance(handler, ast.Name):
+            if handler.id in summaries.functions:
+                roots.append(handler.id)
+        elif isinstance(handler, ast.Lambda):
+            inline_bodies.append(handler)
+        # Anything else — SIG_IGN/SIG_DFL dispositions, a restored
+        # previous handler, a bound method — is unresolvable here and
+        # is skipped rather than guessed at.
+        for lam in inline_bodies:
+            for node in ast.walk(lam.body):
+                if isinstance(node, ast.Call):
+                    problem = _classify_call(node)
+                    if problem is not None:
+                        yield self.finding(
+                            module, node.lineno,
+                            f"handler registered at line"
+                            f" {registration_line} {problem}",
+                        )
+                    elif isinstance(node.func, ast.Name) and \
+                            node.func.id in summaries.functions:
+                        roots.append(node.func.id)
+        seen = set()
+        for root in roots:
+            for func_name in summaries.transitive_closure(root):
+                if func_name in seen:
+                    continue
+                seen.add(func_name)
+                info = summaries.functions.get(func_name)
+                if info is None:
+                    continue
+                yield from self._check_function(
+                    module, info.node, func_name, registration_line
+                )
+
+    def _check_function(self, module, func_node, func_name,
+                        registration_line):
+        for stmt in _own_statements(func_node.body):
+            for expr in own_expressions(stmt):
+                for node in ast.walk(expr):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    problem = _classify_call(node)
+                    if problem is not None:
+                        yield self.finding(
+                            module, node.lineno,
+                            f"{func_name}() is reachable from the"
+                            f" signal handler registered at line"
+                            f" {registration_line} and {problem}",
+                        )

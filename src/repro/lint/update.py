@@ -1,0 +1,215 @@
+"""Regenerate the pinned hashes in :mod:`repro.lint.manifest`.
+
+``repro lint --manifest-update`` is the *only* sanctioned way to touch
+the manifest: it recomputes the frozen-oracle SHA-256 and the payload
+schema fingerprint from the current tree and rewrites the whole file
+in one atomic ``os.replace``, so the manifest can never be half-new.
+
+Two interlocks keep the update an explicit, reviewable act:
+
+* **dirty-tree refusal** — the update runs only when the working tree
+  has no uncommitted changes *besides* the files whose pins are being
+  regenerated (the oracle, the columnar module and the manifest
+  itself).  The intended workflow — edit ``columnar.py``, bump
+  ``COLUMNAR_SCHEMA_VERSION``, regenerate, commit everything together
+  — stays a single reviewed change, while regenerating pins in the
+  middle of unrelated uncommitted churn (where the reviewer cannot
+  tell which edit the new fingerprint blesses) is refused;
+* **extraction refusal** — if ``PLAN_COLUMNS`` or
+  ``COLUMNAR_SCHEMA_VERSION`` cannot be statically extracted, the
+  update fails rather than pinning a fingerprint of nothing.
+
+See the "bumping the schema" section of ``docs/STATIC_ANALYSIS.md``.
+"""
+
+import ast
+import hashlib
+import os
+import subprocess
+import tempfile
+
+from repro.lint import manifest
+from repro.lint.clang_parity.pyextract import (
+    int_constant,
+    payload_extras,
+    plan_columns,
+    schema_fingerprint,
+)
+
+#: Root-relative path of the file this module rewrites.
+MANIFEST_PATH = "src/repro/lint/manifest.py"
+
+#: Files allowed to carry uncommitted changes during an update: the
+#: ones whose pins are being regenerated, plus the manifest itself.
+_ALLOWED_DIRTY = frozenset({
+    MANIFEST_PATH,
+    manifest.ORACLE_PATH,
+    manifest.PAYLOAD_SCHEMA_PATH,
+})
+
+_TEMPLATE = '''\
+"""Pinned content hashes and schema fingerprints for frozen contracts.
+
+``repro.core.mlpsim_reference`` is the pre-optimization MLPsim engine,
+kept bit-identical as the oracle for the engine-equivalence suite
+(PR 2).  Its usefulness rests entirely on it never changing, so the
+``frozen-oracle`` lint pass verifies the file's SHA-256 against the
+value pinned here.  An edit to the oracle therefore requires an edit
+to this manifest in the same commit — an explicit, reviewable act
+rather than a quiet drive-by change.
+
+The columnar plan payload (PR 7) gets the same treatment: the
+``schema-version`` pass fingerprints the column set ``plan_payload``
+packs and compares it against the pin below, so changing the payload
+layout without bumping ``COLUMNAR_SCHEMA_VERSION`` (or bumping the
+version without regenerating this manifest) fails the build.
+
+Hashes are computed over text with ``\\\\r\\\\n`` normalised to ``\\\\n``, so
+checkouts with translated line endings still verify.  Regenerate this
+file with ``repro lint --manifest-update`` (see
+``docs/STATIC_ANALYSIS.md``), never by hand.
+"""
+
+#: Root-relative path of the frozen reference engine.
+ORACLE_PATH = "{oracle_path}"
+
+#: SHA-256 of the oracle's (newline-normalised) content.
+ORACLE_SHA256 = (
+    "{oracle_sha256}"
+)
+
+#: Root-relative path of the columnar plan module.
+PAYLOAD_SCHEMA_PATH = "{payload_schema_path}"
+
+#: The COLUMNAR_SCHEMA_VERSION the fingerprint below was pinned at.
+PAYLOAD_SCHEMA_VERSION = {payload_schema_version}
+
+#: SHA-256 fingerprint of the plan_payload column set: one
+#: ``name:dtype`` line per PLAN_COLUMNS entry in order, then one
+#: ``+key`` line per extra payload record (see
+#: ``repro.lint.clang_parity.pyextract.schema_fingerprint``).
+PAYLOAD_SCHEMA_SHA256 = (
+    "{payload_schema_sha256}"
+)
+'''
+
+
+class ManifestUpdateError(Exception):
+    """The manifest could not (or must not) be regenerated."""
+
+
+def _read_normalised(root, relpath):
+    path = os.path.join(root, relpath)
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read().replace("\r\n", "\n")
+    except OSError as exc:
+        raise ManifestUpdateError(
+            f"cannot read {relpath}: {exc}"
+        ) from exc
+
+
+def _unexpected_dirty_paths(root):
+    """Uncommitted paths that are *not* part of a manifest update."""
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=root, capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        raise ManifestUpdateError(
+            "not a git work tree (or git is unavailable): the dirty-"
+            "tree check cannot run, so the manifest is not regenerated"
+        ) from exc
+    unexpected = []
+    for line in proc.stdout.splitlines():
+        if len(line) < 4:
+            continue
+        path = line[3:]
+        # Renames are reported as "old -> new"; the new path counts.
+        if " -> " in path:
+            path = path.split(" -> ", 1)[1]
+        path = path.strip().strip('"')
+        if path not in _ALLOWED_DIRTY:
+            unexpected.append(path)
+    return unexpected
+
+
+def update_manifest(root="."):
+    """Regenerate ``manifest.py``; returns a summary dict.
+
+    Raises :class:`ManifestUpdateError` when the tree carries
+    uncommitted changes beyond the pinned files, or when the schema
+    constants cannot be extracted.
+    """
+    dirty = _unexpected_dirty_paths(root)
+    if dirty:
+        shown = ", ".join(sorted(dirty)[:5])
+        if len(dirty) > 5:
+            shown += f", ... ({len(dirty) - 5} more)"
+        raise ManifestUpdateError(
+            f"refusing to regenerate pins in a dirty tree: {shown}"
+            " — commit or stash everything except the schema change"
+            " first, so the new fingerprint blesses exactly one edit"
+        )
+
+    oracle_sha = hashlib.sha256(
+        _read_normalised(root, manifest.ORACLE_PATH).encode()
+    ).hexdigest()
+
+    columnar_source = _read_normalised(root, manifest.PAYLOAD_SCHEMA_PATH)
+    try:
+        tree = ast.parse(columnar_source)
+    except SyntaxError as exc:
+        raise ManifestUpdateError(
+            f"{manifest.PAYLOAD_SCHEMA_PATH} does not parse: {exc}"
+        ) from exc
+    columns = plan_columns(tree)
+    version = int_constant(tree, "COLUMNAR_SCHEMA_VERSION")
+    if columns is None or version is None:
+        missing = ("PLAN_COLUMNS" if columns is None
+                   else "COLUMNAR_SCHEMA_VERSION")
+        raise ManifestUpdateError(
+            f"cannot extract {missing} from"
+            f" {manifest.PAYLOAD_SCHEMA_PATH}; refusing to pin a"
+            " fingerprint of nothing"
+        )
+    fingerprint = schema_fingerprint(columns[0], payload_extras(tree))
+
+    content = _TEMPLATE.format(
+        oracle_path=manifest.ORACLE_PATH,
+        oracle_sha256=oracle_sha,
+        payload_schema_path=manifest.PAYLOAD_SCHEMA_PATH,
+        payload_schema_version=version[0],
+        payload_schema_sha256=fingerprint,
+    )
+
+    target = os.path.join(root, MANIFEST_PATH)
+    changed = True
+    try:
+        with open(target, encoding="utf-8") as handle:
+            changed = handle.read() != content
+    except OSError:
+        pass
+    if changed:
+        # One atomic replace: the manifest is never observable half-new.
+        fd, temp_path = tempfile.mkstemp(
+            dir=os.path.dirname(target), prefix=".manifest-", suffix=".py"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(content)
+            os.replace(temp_path, target)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    return {
+        "oracle_sha256": oracle_sha,
+        "payload_schema_version": version[0],
+        "payload_schema_sha256": fingerprint,
+        "changed": changed,
+    }

@@ -1,0 +1,18 @@
+"""Clean append-journal usage: write, flush, fsync, in order."""
+
+import os
+
+
+def append_record(path, line):
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def append_many(path, lines):
+    with open(path, "a", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())

@@ -1,0 +1,34 @@
+"""Broken append-journal usage: each function is one ordering bug."""
+
+import os
+
+
+def fsync_without_flush(path, line):
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        os.fsync(handle.fileno())
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def replay_through_append_handle(path):
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("x")
+        handle.flush()
+        os.fsync(handle.fileno())
+        return handle.read()
+
+
+def write_after_close(path, line):
+    handle = open(path, "a", encoding="utf-8")
+    handle.write(line)
+    handle.flush()
+    os.fsync(handle.fileno())
+    handle.close()
+    handle.write(line)
+
+
+def forgets_fsync(path, line):
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()

@@ -1,0 +1,27 @@
+/* Miniature kernel whose ABI surface matches ckernel.py exactly. */
+#include <stdint.h>
+
+#define BATCH_MAGIC 7
+
+typedef struct {
+    int64_t rob;
+    int64_t iw;
+    int64_t mshr_cap;
+} KernelConfig;
+
+typedef struct {
+    int64_t epochs;
+    int64_t accesses;
+    int64_t inhibitors[4];
+    int64_t error_index;
+} KernelResult;
+
+int mlpsim_batch(int64_t n,
+                 const int8_t *ops,
+                 const KernelConfig *configs,
+                 int64_t n_configs,
+                 KernelResult *results)
+{
+    (void)n; (void)ops; (void)configs; (void)n_configs; (void)results;
+    return BATCH_MAGIC - BATCH_MAGIC;
+}

@@ -1,0 +1,33 @@
+"""Miniature ctypes binding that mirrors _mlpsim_kernel.c exactly."""
+
+import ctypes
+
+
+class _KernelConfig(ctypes.Structure):
+    _fields_ = [
+        ("rob", ctypes.c_int64),
+        ("iw", ctypes.c_int64),
+        ("mshr_cap", ctypes.c_int64),
+    ]
+
+
+class _KernelResult(ctypes.Structure):
+    _fields_ = [
+        ("epochs", ctypes.c_int64),
+        ("accesses", ctypes.c_int64),
+        ("inhibitors", ctypes.c_int64 * 4),
+        ("error_index", ctypes.c_int64),
+    ]
+
+
+def bind(lib):
+    fn = lib.mlpsim_batch
+    fn.restype = ctypes.c_int
+    fn.argtypes = [
+        ctypes.c_int64,
+        ctypes.c_void_p,
+        ctypes.POINTER(_KernelConfig),
+        ctypes.c_int64,
+        ctypes.POINTER(_KernelResult),
+    ]
+    return fn

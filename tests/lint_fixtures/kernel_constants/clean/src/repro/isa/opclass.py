@@ -1,0 +1,9 @@
+"""Miniature opcode enum mirrored by the C kernel's OP_* defines."""
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    ALU = 0
+    LOAD = 1
+    STORE = 2

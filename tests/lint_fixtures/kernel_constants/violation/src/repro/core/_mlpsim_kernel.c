@@ -1,0 +1,20 @@
+/* Miniature kernel whose constant tables match the Python enums. */
+#include <stdint.h>
+
+#define OP_ALU 0
+#define OP_LOAD 1
+#define OP_STORE 3
+
+#define INH_MAXWIN 0
+#define INH_DEP_STORE 1
+#define INH_COUNT 3
+
+#define NOT_EXECUTED (1 << 30)
+
+#define ST_DONE 0
+#define ST_DEFER 5
+
+static int unused(void)
+{
+    return OP_ALU + INH_MAXWIN + ST_DONE;
+}

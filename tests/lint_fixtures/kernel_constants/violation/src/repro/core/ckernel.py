@@ -1,0 +1,9 @@
+"""Miniature Python-side constant tables matched against the C defines."""
+
+from repro.core.termination import Inhibitor
+
+_EXPECTED_STATUSES = {
+    "DONE": 0, "DEFER": 1,
+}
+
+INHIBITOR_ORDER = (Inhibitor.MAXWIN, Inhibitor.DEP_STORE)

@@ -1,0 +1,3 @@
+"""Miniature engine module holding the shared sentinel."""
+
+NOT_EXECUTED = 1 << 30

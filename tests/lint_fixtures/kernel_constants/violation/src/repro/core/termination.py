@@ -1,0 +1,8 @@
+"""Miniature inhibitor enum; definition order is the C array order."""
+
+import enum
+
+
+class Inhibitor(enum.Enum):
+    MAXWIN = "maxwin"
+    DEP_STORE = "dep_store"

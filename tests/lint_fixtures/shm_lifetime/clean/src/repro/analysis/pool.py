@@ -1,0 +1,52 @@
+"""Clean shared-plan lifecycles: every acquisition reaches its release."""
+
+from multiprocessing import shared_memory
+
+from repro.analysis.shm import (
+    attach_plan,
+    plan_is_published,
+    publish_plan,
+    unpublish_plan,
+)
+
+
+def run_sweep(plan, configs):
+    handle = publish_plan(plan)
+    try:
+        count = 0
+        for _config in configs:
+            if plan_is_published(handle):
+                count += 1
+    finally:
+        unpublish_plan(handle)
+    return count
+
+
+def worker_body(handle):
+    attached = attach_plan(handle)
+    try:
+        return attached.plan
+    finally:
+        attached.close()
+
+
+def _teardown(handle):
+    # A module-local release wrapper: calling it counts as the release.
+    unpublish_plan(handle)
+
+
+def publish_and_release(plan):
+    handle = publish_plan(plan)
+    try:
+        return handle.kind
+    finally:
+        _teardown(handle)
+
+
+def scratch_segment(size):
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        segment.buf[:size] = bytes(size)
+    finally:
+        segment.close()
+        segment.unlink()

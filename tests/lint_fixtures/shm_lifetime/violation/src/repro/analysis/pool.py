@@ -1,0 +1,37 @@
+"""Broken shared-plan lifecycles: each function is one protocol bug."""
+
+from multiprocessing import shared_memory
+
+from repro.analysis.shm import (
+    attach_plan,
+    plan_is_published,
+    publish_plan,
+    unpublish_plan,
+)
+
+
+def leaky_sweep(plan, configs):
+    handle = publish_plan(plan)
+    count = 0
+    for _config in configs:
+        if plan_is_published(handle):
+            count += 1
+    return count
+
+
+def use_after_release(plan):
+    handle = publish_plan(plan)
+    unpublish_plan(handle)
+    attached = attach_plan(handle)
+    attached.close()
+
+
+def close_only_on_success(handle, flag):
+    attached = attach_plan(handle)
+    if flag:
+        attached.close()
+
+
+def forgotten_unlink(size):
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    segment.close()

@@ -1,0 +1,17 @@
+"""Clean signal-handler discipline: the handler only raises."""
+
+import signal
+
+
+def arm(seconds, make_error):
+    def _expired(signum, frame):
+        raise make_error()
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    return previous
+
+
+def disarm(previous):
+    signal.alarm(0)
+    signal.signal(signal.SIGALRM, previous)

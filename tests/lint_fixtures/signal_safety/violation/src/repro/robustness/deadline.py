@@ -1,0 +1,26 @@
+"""Broken signal handlers: locks, I/O and sleeps on the handler path."""
+
+import signal
+import threading
+import time
+
+
+def noisy_handler(signum, frame):
+    print("deadline expired")
+
+
+def _log_state():
+    lock = threading.Lock()
+    with lock:
+        pass
+
+
+def chatty_handler(signum, frame):
+    _log_state()
+
+
+def arm(seconds):
+    signal.signal(signal.SIGALRM, noisy_handler)
+    signal.signal(signal.SIGALRM, chatty_handler)
+    signal.signal(signal.SIGALRM, lambda s, f: time.sleep(1))
+    signal.alarm(seconds)

@@ -38,9 +38,21 @@ PASS_FIXTURES = {
 }
 
 
+#: Passes added by the parity/typestate layers; their fixture pairs are
+#: driven by test_lint_parity.py and test_lint_typestate.py instead.
+PARITY_PASSES = frozenset({
+    "kernel-abi", "kernel-constants", "schema-version",
+})
+TYPESTATE_PASSES = frozenset({
+    "shm-lifetime", "journal-protocol", "signal-safety",
+})
+
+
 class TestRegistry:
-    def test_all_ten_passes_registered(self):
-        assert set(registered_passes()) == set(PASS_FIXTURES)
+    def test_all_sixteen_passes_registered(self):
+        assert set(registered_passes()) == (
+            set(PASS_FIXTURES) | PARITY_PASSES | TYPESTATE_PASSES
+        )
 
     def test_unknown_select_rejected(self):
         with pytest.raises(ConfigError, match="unknown lint pass"):

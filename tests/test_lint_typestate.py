@@ -1,0 +1,248 @@
+"""Tests for the typestate protocol layer of reprolint.
+
+Covers the three protocol passes (``shm-lifetime``,
+``journal-protocol``, ``signal-safety``) over their fixture pairs, the
+engine semantics the passes rely on (escape analysis, interrupted
+exception edges, finally-path precision, witness paths), and the
+delete-a-release acceptance scenario.
+"""
+
+import ast
+import pathlib
+import shutil
+import textwrap
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.flow.typestate import check_module_scopes
+from repro.lint.passes.journal_protocol import JournalProtocolSpec
+from repro.lint.passes.shm_lifetime import ShmLifetimeSpec
+
+FIXTURES = pathlib.Path(__file__).parent / "lint_fixtures"
+
+#: pass id -> (fixture directory, expected finding count in violation/)
+TYPESTATE_FIXTURES = {
+    "shm-lifetime": ("shm_lifetime", 4),
+    "journal-protocol": ("journal_protocol", 4),
+    "signal-safety": ("signal_safety", 3),
+}
+
+
+def _shm_findings(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return list(check_module_scopes(tree, ShmLifetimeSpec()))
+
+
+def _journal_findings(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return list(check_module_scopes(tree, JournalProtocolSpec()))
+
+
+class TestTypestateFixtures:
+    @pytest.mark.parametrize("pass_id", sorted(TYPESTATE_FIXTURES))
+    def test_clean_fixture_has_no_findings(self, pass_id):
+        root = FIXTURES / TYPESTATE_FIXTURES[pass_id][0] / "clean"
+        assert run_lint(root) == []
+
+    @pytest.mark.parametrize("pass_id", sorted(TYPESTATE_FIXTURES))
+    def test_violation_fixture_is_flagged(self, pass_id):
+        fixture, expected = TYPESTATE_FIXTURES[pass_id]
+        findings = run_lint(
+            FIXTURES / fixture / "violation", select=[pass_id]
+        )
+        assert len(findings) == expected
+        assert all(f.pass_id == pass_id for f in findings)
+
+    def test_shm_leak_names_the_cfg_path(self):
+        findings = run_lint(
+            FIXTURES / "shm_lifetime" / "violation",
+            select=["shm-lifetime"],
+        )
+        leaks = [f for f in findings if "leaking path" in f.message]
+        assert leaks
+        # At least one leak names concrete line numbers of the path.
+        assert any("lines " in f.message and "-> exit" in f.message
+                   for f in leaks)
+
+    def test_journal_violation_details(self):
+        findings = run_lint(
+            FIXTURES / "journal_protocol" / "violation",
+            select=["journal-protocol"],
+        )
+        messages = "\n".join(f.message for f in findings)
+        assert "fsync before flush" in messages
+        assert "write after close" in messages
+        assert "write-only" in messages        # read through append handle
+        assert "not durable" in messages       # scope exit without fsync
+
+    def test_signal_findings_name_the_registration(self):
+        findings = run_lint(
+            FIXTURES / "signal_safety" / "violation",
+            select=["signal-safety"],
+        )
+        assert all("registered at line" in f.message for f in findings)
+
+
+class TestDeleteARelease:
+    """Acceptance: deleting an unpublish call yields exactly one finding."""
+
+    def test_deleting_the_unpublish_is_one_finding(self, tmp_path):
+        src = FIXTURES / "shm_lifetime" / "clean"
+        shutil.copytree(src, tmp_path / "tree")
+        module = tmp_path / "tree" / "src" / "repro" / "analysis" / "pool.py"
+        text = module.read_text()
+        assert text.count("        unpublish_plan(handle)") == 1
+        # Mutating a throwaway fixture copy; durability is moot.
+        module.write_text(text.replace(  # reprolint: disable=atomic-writes
+            "        unpublish_plan(handle)", "        pass", 1
+        ))
+        findings = run_lint(tmp_path / "tree", select=["shm-lifetime"])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert "never reaches unpublish_plan()" in finding.message
+        assert "leaking path" in finding.message
+
+
+class TestShmSpecSemantics:
+    def test_acquisition_that_raises_does_not_burden_the_handler(self):
+        # The interrupted edge out of the publish carries the
+        # pre-acquisition state: nothing was bound, nothing to release.
+        assert _shm_findings('''
+            def f(plan):
+                try:
+                    handle = publish_plan(plan)
+                except ValueError:
+                    return None
+                unpublish_plan(handle)
+        ''') == []
+
+    def test_exception_path_that_skips_the_release_is_a_leak(self):
+        findings = _shm_findings('''
+            def f(plan, step):
+                handle = publish_plan(plan)
+                try:
+                    step()
+                except ValueError:
+                    return None
+                unpublish_plan(handle)
+        ''')
+        assert len(findings) == 1
+        lineno, message = findings[0]
+        assert lineno == 3  # reported at the acquisition
+        assert "never reaches unpublish_plan" in message
+
+    def test_release_inside_finally_holds_on_exception_paths(self):
+        # The finally's continuation edge carries the *post*-release
+        # state: the unpublish ran even while an exception propagated.
+        assert _shm_findings('''
+            def f(plan, step):
+                handle = publish_plan(plan)
+                try:
+                    attached = attach_plan(handle)
+                    try:
+                        step(attached.plan)
+                    finally:
+                        attached.close()
+                finally:
+                    unpublish_plan(handle)
+        ''') == []
+
+    def test_container_store_escapes_ownership(self):
+        # handles[key] = publish_plan(...) — the real sweep's pattern:
+        # ownership moved into the container, released elsewhere.
+        assert _shm_findings('''
+            def f(plans, handles):
+                for key, plan in plans.items():
+                    handles[key] = publish_plan(plan)
+        ''') == []
+
+    def test_bare_name_argument_escapes_ownership(self):
+        assert _shm_findings('''
+            def f(plan, spawn):
+                handle = publish_plan(plan)
+                spawn(handle)
+        ''') == []
+
+    def test_pure_attribute_read_does_not_escape(self):
+        findings = _shm_findings('''
+            def f(plan):
+                handle = publish_plan(plan)
+                return handle.kind
+        ''')
+        assert len(findings) == 1  # the leak is still seen through it
+
+    def test_attach_after_unpublish_is_a_violation(self):
+        findings = _shm_findings('''
+            def f(plan):
+                handle = publish_plan(plan)
+                unpublish_plan(handle)
+                attach_plan(handle)
+        ''')
+        assert len(findings) == 1
+        lineno, message = findings[0]
+        assert lineno == 5
+        assert "attach" in message and "released" in message
+
+    def test_release_wrapper_counts_via_summaries(self):
+        assert _shm_findings('''
+            def _cleanup(handle):
+                unpublish_plan(handle)
+
+            def f(plan):
+                handle = publish_plan(plan)
+                try:
+                    return handle.kind
+                finally:
+                    _cleanup(handle)
+        ''') == []
+
+
+class TestJournalSpecSemantics:
+    def test_exception_between_write_and_fsync_is_the_crash_model(self):
+        # include_exceptional=False: the torn-tail path is what replay
+        # discards, not a finding.
+        assert _journal_findings('''
+            import os
+
+            def f(path, render):
+                with open(path, "a") as handle:
+                    handle.write(render())
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        ''') == []
+
+    def test_fsync_through_fileno_is_recognised(self):
+        findings = _journal_findings('''
+            import os
+
+            def f(path, line):
+                with open(path, "a") as handle:
+                    handle.write(line)
+                    handle.flush()
+        ''')
+        assert len(findings) == 1
+        _lineno, message = findings[0]
+        assert "os.fsync()" in message
+
+    def test_write_mode_opens_are_out_of_scope(self):
+        # "w"-mode handles are not append journals; atomic-writes owns
+        # that territory.
+        assert _journal_findings('''
+            def f(path, line):
+                with open(path, "w") as handle:
+                    handle.write(line)
+        ''') == []
+
+    def test_double_fsync_is_legal(self):
+        assert _journal_findings('''
+            import os
+
+            def f(path, line):
+                handle = open(path, "a")
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+                os.fsync(handle.fileno())
+                handle.close()
+        ''') == []

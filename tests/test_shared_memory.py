@@ -73,7 +73,8 @@ class TestPublishAttach:
         handle = shm.publish_plan(plan)
         shm.unpublish_plan(handle)
         with pytest.raises(TraceFormatError):
-            shm.attach_plan(handle)
+            # Use-after-release is the behaviour under test here.
+            shm.attach_plan(handle)  # reprolint: disable=shm-lifetime
 
     def test_file_fallback_round_trips(self, plan, monkeypatch):
         """With shared memory unavailable the spill file path engages,
@@ -98,7 +99,9 @@ class TestPublishAttach:
 
 def _attach_and_die(handle, barrier):
     """Worker body for the SIGKILL test: map the plan, then die hard."""
-    attached = shm.attach_plan(handle)
+    # Deliberately never closed: the SIGKILL below must find the
+    # attachment live to prove a dead worker cannot unlink the segment.
+    attached = shm.attach_plan(handle)  # reprolint: disable=shm-lifetime
     assert attached.plan is not None
     barrier.wait()
     os.kill(os.getpid(), signal.SIGKILL)
