@@ -11,6 +11,7 @@ instructions); traces and annotations are shared across benchmarks
 within the session via the experiments-layer memoisation.
 """
 
+import json
 import pathlib
 
 import pytest
@@ -22,6 +23,43 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def results_dir():
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+def load_bench_records(path=None):
+    """Read BENCH_perf.json tolerantly; returns a list of records.
+
+    The perf harness has stamped ``git_rev`` and ``bench_schema`` on
+    every record since schema 2; older records carry neither.  Rather
+    than teaching each consumer to guard, this reader backfills
+    ``bench_schema: 1`` and ``git_rev: None`` on legacy entries, so
+    the trajectory reads uniformly across the whole history.  Missing
+    or corrupt files yield an empty history — the trajectory is an
+    artifact, never a failure source.
+    """
+    path = RESULTS_DIR / "BENCH_perf.json" if path is None else path
+    try:
+        with open(path) as handle:
+            loaded = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    runs = loaded.get("runs") if isinstance(loaded, dict) else None
+    if not isinstance(runs, list):
+        return []
+    records = []
+    for entry in runs:
+        if not isinstance(entry, dict):
+            continue
+        record = dict(entry)
+        record.setdefault("bench_schema", 1)
+        record.setdefault("git_rev", None)
+        records.append(record)
+    return records
+
+
+@pytest.fixture
+def bench_history():
+    """The accumulated perf trajectory, schema-backfilled per record."""
+    return load_bench_records()
 
 
 @pytest.fixture

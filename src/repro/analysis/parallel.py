@@ -386,6 +386,109 @@ def batched_parallel_sweep(annotated, pairs, workload, progress, jobs,
     return ordered
 
 
+def _run_cycle_chunk(handle, chunk, workload):
+    """Worker: attach the shared cycle plan and run one config chunk.
+
+    The compiled cyclesim kernel (or the interpreter tier) reads the
+    per-instruction tables straight out of the shared mapping — the
+    only pickles per task are the pipeline configs in and the
+    :class:`~repro.cyclesim.metrics.CycleMetrics` out.
+    """
+    from repro.analysis.shm import attach_plan
+    from repro.cyclesim.simulator import run_cycle_pairs
+
+    attached = attach_plan(handle)
+    try:
+        return run_cycle_pairs(attached.plan, chunk, workload)
+    finally:
+        attached.close()
+
+
+def cyclesim_parallel_sweep(annotated, pairs, workload, progress, jobs,
+                            journal=None, seed=None, trace_len=None):
+    """Zero-copy parallel sweep of cyclesim ``(label, config)`` *pairs*.
+
+    The cyclesim twin of :func:`batched_parallel_sweep`, one notch
+    simpler: the cycle plan never depends on the configuration (no
+    event-mask groups — ``perfect_l2`` is an access-time knob), so one
+    published plan serves the entire grid.  The parent measures the
+    per-config cost on the first config, shards the rest into chunks of
+    roughly :data:`CHUNK_TARGET_SECONDS`, fans them out, and flushes
+    results through *journal* as chunks land.
+
+    Returns ``{label: CycleMetrics}`` in grid order, or ``None`` when
+    no pool can be created (callers fall back to the serial path).
+    The shared segment is unlinked in ``finally`` whatever happens.
+    """
+    from repro.analysis.shm import publish_plan, unpublish_plan
+    from repro.cyclesim.plan import cycle_plan_for
+    from repro.cyclesim.simulator import run_cyclesim
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        ctx = multiprocessing.get_context("spawn")
+
+    results = {}
+    started = time.monotonic()
+    # Calibration doubles as real work: the first config's result is
+    # kept, and running it in the parent also builds (and memoises)
+    # the plan every chunk will share.
+    first_label, first_config = pairs[0]
+    first_result, cost = measure_config_cost(
+        lambda: run_cyclesim(annotated, first_config, workload=workload)
+    )
+    results[first_label] = first_result
+    remaining = [p for p in pairs if p[0] != first_label]
+
+    handle = None
+    executor = None
+    try:
+        chunks = shard_pairs(remaining, cost, jobs)
+        if chunks:
+            handle = publish_plan(cycle_plan_for(annotated))
+            try:
+                executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(jobs, len(chunks)), mp_context=ctx
+                )
+            except (OSError, ValueError):
+                return None
+            futures = [
+                (chunk, executor.submit(
+                    _run_cycle_chunk, handle, chunk, workload
+                ))
+                for chunk in chunks
+            ]
+            for chunk, future in futures:
+                labels = ", ".join(label for label, _ in chunk)
+                try:
+                    chunk_results = future.result()
+                except Exception as exc:
+                    elapsed = time.monotonic() - started
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    raise SimulationError(
+                        f"sweep worker failed for configs [{labels}]"
+                        f" (attempt 1, after {elapsed:.1f}s): {exc}",
+                        field=chunk[0][0],
+                    ) from exc
+                results.update(chunk_results)
+                if journal is not None:
+                    _flush_chunk(
+                        journal, chunk, chunk_results, workload,
+                        seed, trace_len, time.monotonic() - started,
+                    )
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+        unpublish_plan(handle)
+
+    ordered = {label: results[label] for label, _ in pairs}
+    if progress is not None:
+        for label in ordered:
+            progress(label)
+    return ordered
+
+
 def _flush_chunk(journal, chunk, chunk_results, workload, seed, trace_len,
                  elapsed):
     """Append one chunk's results to the sweep journal, fail-soft."""

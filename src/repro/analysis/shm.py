@@ -33,6 +33,12 @@ import tempfile
 import numpy as np
 
 from repro.core.columnar import plan_from_payload, plan_payload
+from repro.cyclesim.plan import (
+    CYCLE_META_KEY,
+    CyclePlan,
+    cycle_plan_from_payload,
+    cycle_plan_payload,
+)
 from repro.robustness.errors import TraceFormatError
 
 #: Column alignment inside the packed buffer.  Cache-line sized, and a
@@ -168,8 +174,17 @@ def publish_plan(plan):
     memory-mapped temporary file.  The caller owns the handle and must
     :func:`unpublish_plan` it exactly once, whatever happens to the
     workers in between.
+
+    Both plan families share this channel: a columnar MLPsim plan and a
+    :class:`~repro.cyclesim.plan.CyclePlan` pack to the same flat
+    ``{name: array}`` shape, and attachment discriminates on the
+    cycle-plan meta record.
     """
-    layout, size, columns = _pack(plan_payload(plan))
+    if isinstance(plan, CyclePlan):
+        payload = cycle_plan_payload(plan)
+    else:
+        payload = plan_payload(plan)
+    layout, size, columns = _pack(payload)
     try:
         return _publish_shm(layout, size, columns)
     except (ImportError, OSError, ValueError):
@@ -225,7 +240,10 @@ def attach_plan(handle):
             path=handle.name, field="kind",
         )
     payload = _unpack(buffer, handle)
-    plan = plan_from_payload(payload, path=handle.name)
+    if CYCLE_META_KEY in payload:
+        plan = cycle_plan_from_payload(payload, path=handle.name)
+    else:
+        plan = plan_from_payload(payload, path=handle.name)
     return AttachedPlan(plan, segment if handle.kind == "shm" else None)
 
 

@@ -193,3 +193,65 @@ def sweep(annotated, machines, workload=None, progress=None, jobs=None,
         if progress is not None:
             progress(label)
     return SweepResult(workload=name, results=results)
+
+
+def sweep_cyclesim(annotated, configs, workload=None, progress=None,
+                   jobs=None, supervise=None):
+    """Run the cycle simulator for every ``(label, config)`` pair.
+
+    The cyclesim twin of :func:`sweep`: *configs* is an iterable of
+    ``(label, CycleSimConfig)`` pairs (or an ordered mapping), and the
+    result is a :class:`SweepResult` whose ``results`` map labels to
+    :class:`~repro.cyclesim.metrics.CycleMetrics`.  This is how the
+    Table 1/3/4 exhibits fan their 27-config-per-workload grids out.
+
+    The grid shares one :class:`~repro.cyclesim.plan.CyclePlan` — the
+    cycle simulator's event masks never depend on the configuration —
+    so parallel runs publish the per-instruction tables once through
+    shared memory and workers attach zero-copy
+    (:func:`repro.analysis.parallel.cyclesim_parallel_sweep`).  *jobs*
+    and the serial cutover behave exactly as in :func:`sweep`; serial
+    runs still amortise the plan and the compiled kernel across the
+    grid via :func:`repro.cyclesim.simulator.run_cycle_pairs`.
+
+    *supervise* routes the grid through the same crash-safe supervisor
+    MLPsim sweeps use — journalled, resumable, retried, quarantined —
+    returning a ``SupervisedSweepResult``; cyclesim results round-trip
+    the journal exactly (``kind: "cyclesim"`` payloads).
+    """
+    if hasattr(configs, "items"):
+        configs = configs.items()
+    pairs = list(configs)
+    name = workload or annotated.trace.name
+
+    if supervise is not None and supervise is not False:
+        from repro.robustness.supervisor import supervised_sweep
+
+        options = {} if supervise is True else dict(supervise)
+        return supervised_sweep(
+            annotated, pairs, workload=name, jobs=jobs,
+            progress=progress, **options
+        )
+
+    from repro.analysis.parallel import (
+        cyclesim_parallel_sweep,
+        resolve_jobs,
+        serial_cutover,
+    )
+    from repro.cyclesim.plan import cycle_plan_for
+    from repro.cyclesim.simulator import run_cycle_pairs
+
+    n_jobs = resolve_jobs(jobs)
+
+    if pairs and n_jobs > 1 and not serial_cutover(n_jobs, len(pairs)):
+        results = cyclesim_parallel_sweep(
+            annotated, pairs, name, progress, min(n_jobs, len(pairs))
+        )
+        if results is not None:
+            return SweepResult(workload=name, results=results)
+
+    results = run_cycle_pairs(cycle_plan_for(annotated), pairs, name)
+    if progress is not None:
+        for label in results:
+            progress(label)
+    return SweepResult(workload=name, results=results)

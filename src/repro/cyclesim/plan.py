@@ -1,0 +1,258 @@
+"""Flat per-region input tables of the cycle simulator.
+
+The cycle simulator's hot loop reads per-instruction facts — opcode,
+producers, event flags, cache-line numbers — that are properties of the
+*trace region alone*: unlike MLPsim plans there is no per-machine mask
+group, because the cyclesim grid never flips perfect-* switches (the
+``perfect_l2`` knob is applied at access time, not in the masks).  One
+:class:`CyclePlan` therefore serves **every** configuration of a grid
+sweep, which is what makes Table 3's 27 configs per workload cheap: the
+decode/opclass, dependence and event tables are built once, the per
+-config cost collapses to the compiled (or interpreted) pipeline walk.
+
+Like the columnar MLPsim plan, a cycle plan spills to a flat
+``{name: array}`` payload so :mod:`repro.analysis.shm` can publish it
+once and let sweep workers attach zero-copy; the schema version travels
+with the payload so a stale publisher is rejected loudly.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.depgraph import depgraph_for
+from repro.core.mlpsim import _event_arrays, resolve_region
+from repro.robustness.errors import TraceFormatError
+
+#: Version of the cycle-plan payload layout; bump on any change to the
+#: column set or meaning so a stale shared segment cannot be misread.
+CYCLE_SCHEMA_VERSION = 1
+
+#: Cache-line shift shared with the simulator (64-byte lines).
+LINE_SHIFT = 6
+
+#: Columns a spilled cycle-plan payload must carry, with dtypes.
+CYCLE_PLAN_COLUMNS = (
+    ("ops", np.int8),
+    ("prod1", np.int32),
+    ("prod2", np.int32),
+    ("prod3", np.int32),
+    ("memdep", np.int32),
+    ("addr_line", np.int64),
+    ("pc_line", np.int64),
+    ("dmiss", np.bool_),
+    ("imiss", np.bool_),
+    ("mispred", np.bool_),
+    ("pmiss", np.bool_),
+    ("pfuseful", np.bool_),
+)
+
+#: Payload key distinguishing a cycle plan from a columnar MLPsim plan
+#: inside the shared-memory publication protocol.
+CYCLE_META_KEY = "cycle_meta"
+
+
+@dataclasses.dataclass
+class _CycleLists:
+    """Flat Python lists for the interpreter tier, built once per plan."""
+
+    ops: list
+    prod1: list
+    prod2: list
+    prod3: list
+    memdep: list
+    addr_line: list
+    pc_line: list
+    dmiss: list
+    imiss: list
+    mispred: list
+    pmiss: list
+    pfuseful: list
+
+
+@dataclasses.dataclass
+class CyclePlan:
+    """Structure-of-arrays input of the cycle simulator for one region.
+
+    All columns have length ``n = stop - start``.  Producer columns keep
+    the dependence graph's ``-1`` sentinel for "no producer in region";
+    ``addr_line``/``pc_line`` are the byte addresses already shifted to
+    cache-line numbers, so the inner loop never touches the trace.
+    """
+
+    start: int
+    stop: int
+    ops: np.ndarray
+    prod1: np.ndarray
+    prod2: np.ndarray
+    prod3: np.ndarray
+    memdep: np.ndarray
+    addr_line: np.ndarray
+    pc_line: np.ndarray
+    dmiss: np.ndarray
+    imiss: np.ndarray
+    mispred: np.ndarray
+    pmiss: np.ndarray
+    pfuseful: np.ndarray
+
+    def __len__(self):
+        return self.stop - self.start
+
+    def nbytes(self):
+        """Total payload size of the numpy columns, in bytes."""
+        return sum(
+            getattr(self, name).nbytes for name, _ in CYCLE_PLAN_COLUMNS
+        )
+
+    def lists(self):
+        """Flat Python lists for the interpreter tier (memoised).
+
+        Callers must not mutate the returned lists; the interpreter
+        copies ``imiss``, the one table it services in place.
+        """
+        cached = getattr(self, "_lists", None)
+        if cached is not None:
+            return cached
+        lists = _CycleLists(
+            ops=self.ops.tolist(),
+            prod1=self.prod1.tolist(),
+            prod2=self.prod2.tolist(),
+            prod3=self.prod3.tolist(),
+            memdep=self.memdep.tolist(),
+            addr_line=self.addr_line.tolist(),
+            pc_line=self.pc_line.tolist(),
+            dmiss=self.dmiss.tolist(),
+            imiss=self.imiss.tolist(),
+            mispred=self.mispred.tolist(),
+            pmiss=self.pmiss.tolist(),
+            pfuseful=self.pfuseful.tolist(),
+        )
+        self._lists = lists
+        return lists
+
+
+def _cycle_plan_cache(annotated):
+    cache = getattr(annotated, "_cycle_plan_cache", None)
+    if cache is None:
+        cache = {}
+        annotated._cycle_plan_cache = cache
+    return cache
+
+
+def cycle_plan_for(annotated, start=None, stop=None):
+    """Return the (memoised) :class:`CyclePlan` for a region of *annotated*.
+
+    One plan per region serves the whole configuration grid — the cycle
+    simulator's event masks never depend on the machine (no perfect-*
+    switches), so there is no mask-group key.
+    """
+    start, stop = resolve_region(annotated, start, stop)
+    cache = _cycle_plan_cache(annotated)
+    plan = cache.get((start, stop))
+    if plan is None:
+        plan = build_cycle_plan(annotated, start, stop)
+        cache[(start, stop)] = plan
+    return plan
+
+
+def build_cycle_plan(annotated, start, stop):
+    """Build the flat cycle-simulator tables for ``annotated[start:stop)``."""
+    trace = annotated.trace
+
+    # The cycle simulator models a real machine: every perfect-* switch
+    # is off, so the masks equal the raw annotation (MachineConfig's
+    # defaults).  ``perfect_l2`` is a timing knob applied at access
+    # time and does not touch the masks.
+    from repro.core.config import MachineConfig
+
+    dmiss, imiss, mispred, pmiss, pfuseful, _ = _event_arrays(
+        annotated, MachineConfig(), start, stop
+    )
+
+    graph = depgraph_for(annotated, start, stop)
+
+    return CyclePlan(
+        start=start, stop=stop,
+        ops=np.ascontiguousarray(trace.op[start:stop], dtype=np.int8),
+        prod1=np.ascontiguousarray(graph.prod1, dtype=np.int32),
+        prod2=np.ascontiguousarray(graph.prod2, dtype=np.int32),
+        prod3=np.ascontiguousarray(graph.prod3, dtype=np.int32),
+        memdep=np.ascontiguousarray(graph.memdep, dtype=np.int32),
+        addr_line=np.ascontiguousarray(
+            np.asarray(trace.addr[start:stop], dtype=np.int64) >> LINE_SHIFT
+        ),
+        pc_line=np.ascontiguousarray(
+            np.asarray(trace.pc[start:stop], dtype=np.int64) >> LINE_SHIFT
+        ),
+        dmiss=np.ascontiguousarray(dmiss),
+        imiss=np.ascontiguousarray(imiss),
+        mispred=np.ascontiguousarray(mispred),
+        pmiss=np.ascontiguousarray(pmiss),
+        pfuseful=np.ascontiguousarray(pfuseful),
+    )
+
+
+def cycle_plan_payload(plan):
+    """Project *plan* to a flat ``{name: array}`` dict for spilling.
+
+    The payload round-trips through :func:`cycle_plan_from_payload`;
+    the :data:`CYCLE_META_KEY` record carries the schema version and
+    region so a version-skewed or truncated publisher is rejected.
+    """
+    payload = {name: getattr(plan, name) for name, _ in CYCLE_PLAN_COLUMNS}
+    payload[CYCLE_META_KEY] = np.asarray(
+        [CYCLE_SCHEMA_VERSION, plan.start, plan.stop], dtype=np.int64
+    )
+    return payload
+
+
+def cycle_plan_from_payload(payload, path=None):
+    """Rebuild a :class:`CyclePlan` from :func:`cycle_plan_payload` output.
+
+    Raises
+    ------
+    repro.robustness.errors.TraceFormatError
+        If the payload misses columns, carries a wrong dtype, or was
+        written under a different :data:`CYCLE_SCHEMA_VERSION`.
+    """
+    if CYCLE_META_KEY not in payload:
+        raise TraceFormatError(
+            "not a cycle plan payload (no cycle_meta record)",
+            path=path, field=CYCLE_META_KEY,
+        )
+    meta = np.asarray(payload[CYCLE_META_KEY])
+    if meta.shape != (3,):
+        raise TraceFormatError(
+            f"cycle plan meta record has shape {meta.shape}; expected (3,)",
+            path=path, field=CYCLE_META_KEY,
+        )
+    version = int(meta[0])
+    if version != CYCLE_SCHEMA_VERSION:
+        raise TraceFormatError(
+            f"cycle plan schema version mismatch: payload has {version},"
+            f" library expects {CYCLE_SCHEMA_VERSION}",
+            path=path, field=CYCLE_META_KEY,
+        )
+    start, stop = int(meta[1]), int(meta[2])
+    n = stop - start
+    if n < 0 or start < 0:
+        raise TraceFormatError(
+            f"cycle plan meta names an invalid region [{start}, {stop})",
+            path=path, field=CYCLE_META_KEY,
+        )
+    columns = {}
+    for name, dtype in CYCLE_PLAN_COLUMNS:
+        if name not in payload:
+            raise TraceFormatError(
+                f"cycle plan payload is missing column {name!r}",
+                path=path, field=name,
+            )
+        array = np.asarray(payload[name])
+        if array.dtype != np.dtype(dtype) or array.shape != (n,):
+            raise TraceFormatError(
+                f"cycle plan column {name!r} has dtype {array.dtype}"
+                f" shape {array.shape}; expected {np.dtype(dtype)} ({n},)",
+                path=path, field=name,
+            )
+        columns[name] = array
+    return CyclePlan(start=start, stop=stop, **columns)

@@ -19,52 +19,23 @@ mispredict), the pipeline decides *when*.  The model:
   ROB entry until its data returns.
 
 Time advances cycle by cycle while the pipeline makes progress and
-skips directly to the next event (a completion, a wakeup, a fetch
-restart) when it is fully stalled — which is most of the wall-clock
-time at 1000-cycle memory latencies.
-
-Engine tiers
-------------
-
-This module is the *optimized* engine, held bit-identical to the frozen
-pre-optimization oracle ``repro.cyclesim.simulator_reference`` by
-``tests/test_cyclesim_equivalence.py`` (the same freeze-and-pin
-protocol PR 2 established for MLPsim).  Two tiers implement it:
-
-* a compiled C kernel (:mod:`repro.cyclesim.ckernel`), built on demand
-  from ``_cyclesim_kernel.c`` — the fast path, and the tier the perf
-  gates bind to;
-* a pure-Python interpreter over the precomputed flat tables of
-  :class:`repro.cyclesim.plan.CyclePlan`, with per-instruction wakeup
-  memoisation and a completion event-wheel — the portable fallback for
-  compiler-less hosts.
-
-Against the reference the interpreter replaces per-``operands_ready``
-producer walks with a write-once wakeup memo (a producer's ``ready``
-is set exactly once, at issue, so a computed wake time below the
-``_NEVER`` sentinel is final), the completion *heap* with a FIFO
-event-wheel (completion times are ``now + miss_penalty`` with
-non-decreasing ``now``, so the heap order is insertion order), and the
-per-issue ``list.remove`` with one filtered rebuild per cycle.  None of
-these change any observable — the equivalence suite holds every
-:class:`~repro.cyclesim.metrics.CycleMetrics` counter bit-identical.
+skips directly to the next event (a completion, a fetch restart) when
+it is fully stalled — which is most of the wall-clock time at
+1000-cycle memory latencies.
 """
 
-from collections import deque
+import heapq
 
 from repro.core.config import BranchPolicy, LoadPolicy, SerializePolicy
-from repro.core.mlpsim import resolve_region
+from repro.core.depgraph import depgraph_for
+from repro.core.mlpsim import event_masks, resolve_region
 from repro.cyclesim.config import CycleSimConfig
 from repro.cyclesim.metrics import CycleMetrics, OutstandingTracker
-from repro.cyclesim.plan import cycle_plan_for
 from repro.isa.opclass import OpClass
-from repro.robustness.errors import ConfigError, InternalError
+from repro.robustness.errors import InternalError
 
 _NEVER = 1 << 60
 _LINE_SHIFT = 6
-
-#: Engines ``run_cyclesim`` can route a configuration through.
-CYCLE_ENGINES = ("auto", "kernel", "python")
 
 
 class CycleSimulator:
@@ -80,77 +51,27 @@ class CycleSimulator:
         )
 
 
-def run_cyclesim(annotated, config=None, start=None, stop=None,
-                 workload=None, engine="auto"):
-    """Simulate *annotated* under *config*; return :class:`CycleMetrics`.
-
-    *engine* picks the tier: ``"auto"`` (default) uses the compiled
-    kernel when it is available and the interpreter otherwise;
-    ``"kernel"`` requires the compiled kernel (raising
-    :class:`~repro.robustness.errors.InternalError` when it cannot be
-    built); ``"python"`` forces the interpreter.  All tiers are
-    bit-identical — the equivalence suite pins every counter to the
-    frozen reference simulator.
-    """
-    if engine not in CYCLE_ENGINES:
-        raise ConfigError(
-            f"engine must be one of {CYCLE_ENGINES}, got {engine!r}",
-            field="engine",
-        )
+def run_cyclesim(annotated, config=None, start=None, stop=None, workload=None):
+    """Simulate *annotated* under *config*; return :class:`CycleMetrics`."""
     config = config or CycleSimConfig()
+    trace = annotated.trace
     start, stop = resolve_region(annotated, start, stop)
-    plan = cycle_plan_for(annotated, start, stop)
-    name = workload or annotated.trace.name
-    if engine != "python":
-        from repro.cyclesim import ckernel
+    n = stop - start
 
-        if ckernel.kernel_available():
-            results = ckernel.run_cycle_plan(plan, [("run", config)], name)
-            return results["run"]
-        if engine == "kernel":
-            raise InternalError(
-                f"compiled cyclesim kernel unavailable:"
-                f" {ckernel.kernel_error()}"
-            )
-    return simulate_cycle_plan(plan, config, workload=name)
+    dmiss, imiss, mispred, pmiss, pfuseful, _ = event_masks(
+        annotated, config.machine(), start, stop
+    )
+    imiss = list(imiss)
 
+    graph = depgraph_for(annotated, start, stop)
+    prod1, prod2, prod3 = graph.prod1, graph.prod2, graph.prod3
+    memdep = graph.memdep
 
-def run_cycle_pairs(plan, pairs, workload):
-    """Simulate every ``(label, config)`` pair against *plan*.
+    ops = trace.op[start:stop].tolist()
+    addrs = trace.addr[start:stop].tolist()
+    pcs = trace.pc[start:stop].tolist()
 
-    The batch entry point of the sweep backend: one compiled call when
-    the kernel is available, otherwise one interpreter run per config.
-    Returns ``{label: CycleMetrics}`` in input order.
-    """
-    from repro.cyclesim import ckernel
-
-    if ckernel.kernel_available():
-        return ckernel.run_cycle_plan(plan, pairs, workload)
-    return {
-        label: simulate_cycle_plan(plan, config, workload=workload)
-        for label, config in pairs
-    }
-
-
-def simulate_cycle_plan(plan, config, workload=None):
-    """Interpreter tier: run one configuration against a cycle plan."""
-    n = len(plan)
-    tables = plan.lists()
-
-    prod1 = tables.prod1
-    prod2 = tables.prod2
-    prod3 = tables.prod3
-    memdep = tables.memdep
-
-    ops = tables.ops
-    addr_lines = tables.addr_line
-    pc_lines = tables.pc_line
-    dmiss = tables.dmiss
-    mispred = tables.mispred
-    pmiss = tables.pmiss
-    pfuseful = tables.pfuseful
-    imiss = list(tables.imiss)  # consumed in place per run
-
+    ALU = int(OpClass.ALU)
     LOAD = int(OpClass.LOAD)
     STORE = int(OpClass.STORE)
     BRANCH = int(OpClass.BRANCH)
@@ -158,8 +79,8 @@ def simulate_cycle_plan(plan, config, workload=None):
     CAS = int(OpClass.CAS)
     LDSTUB = int(OpClass.LDSTUB)
     MEMBAR = int(OpClass.MEMBAR)
+    NOP = int(OpClass.NOP)
     MEMOPS = (LOAD, STORE, PREFETCH, CAS, LDSTUB)
-    SERIAL_OPS = (CAS, LDSTUB, MEMBAR)
 
     load_in_order = config.issue.load_policy == LoadPolicy.IN_ORDER
     load_wait_staddr = config.issue.load_policy == LoadPolicy.WAIT_STORE_ADDR
@@ -169,33 +90,17 @@ def simulate_cycle_plan(plan, config, workload=None):
     miss_penalty = config.miss_penalty
     l1_latency = config.l1_latency
     l2_latency = config.l2_latency
-    alu_latency = config.alu_latency
-    branch_latency = config.branch_latency
-    frontend_depth = config.frontend_depth
-    redirect_penalty = config.redirect_penalty
-    commit_width = config.commit_width
-    issue_width = config.issue_width
-    dispatch_width = config.dispatch_width
-    fetch_width = config.fetch_width
-    fetch_buffer = config.fetch_buffer
-    rob_size = config.rob
-    iw_size = config.issue_window
-    event_skip = config.event_skip
 
     # Per-instruction timing state.
     ready = [_NEVER] * n  # result availability (wakeup)
     complete = [_NEVER] * n  # commit eligibility
-    # Wakeup memo: ``ready`` is written exactly once per instruction
-    # (at issue), so a computed operand wake time below ``_NEVER`` —
-    # meaning every producer has issued — is final and cacheable.
-    wake = [-1] * n
 
-    fetch_q = deque()  # (index, dispatch-eligible cycle), FIFO
+    fetch_q = []  # (index, dispatch-eligible cycle), FIFO
     rob = []  # indices in program order (list used as deque via pointer)
     rob_head = 0
     iw = []  # dispatched, unissued indices (program order)
     unissued_memops = []  # for policy A ordering (head may issue)
-    unresolved_stores = deque()  # policy B: stores with unknown address
+    unresolved_stores = []  # for policy B (stores whose address is unknown)
     unissued_branches = []  # for in-order branch issue
 
     fetch_ptr = 0
@@ -204,21 +109,21 @@ def simulate_cycle_plan(plan, config, workload=None):
     redirect_branch = -1
     serializing_block_until = 0
 
-    # Completion event-wheel: entries complete ``miss_penalty`` cycles
-    # after they start and ``now`` never decreases, so completions
-    # retire in allocation order — a FIFO, no heap needed.
     mshr = {}  # line -> [completion_cycle, useful]
-    completion_events = deque()  # (cycle, line) in completion order
+    completion_events = []  # heap of (cycle, line)
     tracker = OutstandingTracker()
 
     metrics = CycleMetrics(
-        workload=workload,
+        workload=workload or trace.name,
         label=f"{config.issue_window}{config.issue.name}"
         + ("/perfL2" if perfect_l2 else ""),
     )
 
-    def access(now, line, useful, kind):
+    def access(now, addr, useful, kind):
         """Start an off-chip access; return its completion cycle."""
+        if perfect_l2:
+            return now + l2_latency
+        line = addr >> _LINE_SHIFT
         entry = mshr.get(line)
         if entry is not None:
             if useful and not entry[1]:
@@ -227,7 +132,7 @@ def simulate_cycle_plan(plan, config, workload=None):
             return entry[0]
         done = now + miss_penalty
         mshr[line] = [done, useful]
-        completion_events.append((done, line))
+        heapq.heappush(completion_events, (done, line))
         if useful:
             tracker.add(now, 1)
             metrics.offchip_accesses += 1
@@ -239,6 +144,26 @@ def simulate_cycle_plan(plan, config, workload=None):
                 metrics.prefetch_accesses += 1
         return done
 
+    def operands_ready(i):
+        """The cycle all register operands of *i* are available."""
+        when = 0
+        p = prod1[i]
+        if p >= 0:
+            r = ready[p]
+            if r > when:
+                when = r
+        p = prod2[i]
+        if p >= 0:
+            r = ready[p]
+            if r > when:
+                when = r
+        p = prod3[i]
+        if p >= 0:
+            r = ready[p]
+            if r > when:
+                when = r
+        return when
+
     now = 0
     committed = 0
     stalls = metrics.stall_cycles
@@ -246,7 +171,7 @@ def simulate_cycle_plan(plan, config, workload=None):
     while committed < n:
         # Retire completed off-chip accesses.
         while completion_events and completion_events[0][0] <= now:
-            done, line = completion_events.popleft()
+            done, line = heapq.heappop(completion_events)
             entry = mshr.pop(line, None)
             if entry is not None and entry[1]:
                 tracker.add(done, -1)
@@ -255,7 +180,7 @@ def simulate_cycle_plan(plan, config, workload=None):
         committed_this_cycle = 0
 
         # ---- commit ------------------------------------------------------
-        for _ in range(commit_width):
+        for _ in range(config.commit_width):
             if rob_head >= len(rob):
                 break
             head = rob[rob_head]
@@ -274,36 +199,16 @@ def simulate_cycle_plan(plan, config, workload=None):
             issued_this_cycle = 0
             issued_indices = []
             for i in iw:
-                if issued_this_cycle >= issue_width:
+                if issued_this_cycle >= config.issue_width:
                     break
                 op = ops[i]
 
-                if serializing and op in SERIAL_OPS:
+                if serializing and op in (CAS, LDSTUB, MEMBAR):
                     # Pipeline drain: only the ROB head may issue, and
                     # younger instructions wait for its completion.
                     if rob_head >= len(rob) or rob[rob_head] != i:
                         continue
-                w = wake[i]
-                if w < 0:
-                    w = 0
-                    p = prod1[i]
-                    if p >= 0:
-                        r = ready[p]
-                        if r > w:
-                            w = r
-                    p = prod2[i]
-                    if p >= 0:
-                        r = ready[p]
-                        if r > w:
-                            w = r
-                    p = prod3[i]
-                    if p >= 0:
-                        r = ready[p]
-                        if r > w:
-                            w = r
-                    if w < _NEVER:
-                        wake[i] = w
-                if w > now:
+                if operands_ready(i) > now:
                     continue
 
                 if op == LOAD or op == CAS or op == LDSTUB:
@@ -323,16 +228,13 @@ def simulate_cycle_plan(plan, config, workload=None):
                             if p >= 0 and ready[p] > addr_when:
                                 addr_when = ready[p]
                             if addr_when <= now:
-                                unresolved_stores.popleft()
+                                unresolved_stores.pop(0)
                             else:
                                 break
                         if unresolved_stores and unresolved_stores[0] < i:
                             continue
                     if dmiss[i]:
-                        if perfect_l2:
-                            done = now + l2_latency
-                        else:
-                            done = access(now, addr_lines[i], True, 0)
+                        done = access(now, addrs[i], True, 0)
                     else:
                         done = now + l1_latency
                     ready[i] = done
@@ -346,18 +248,17 @@ def simulate_cycle_plan(plan, config, workload=None):
                     complete[i] = now + 1
                 elif op == PREFETCH:
                     if pmiss[i]:
-                        if not perfect_l2:
-                            access(now, addr_lines[i], pfuseful[i], 2)
+                        access(now, addrs[i], pfuseful[i], 2)
                     ready[i] = now + 1
                     complete[i] = now + 1
                 elif op == BRANCH:
                     if branch_in_order and unissued_branches[0] != i:
                         continue
-                    done = now + branch_latency
+                    done = now + config.branch_latency
                     ready[i] = done
                     complete[i] = done
                     if i == redirect_branch:
-                        fetch_stall_until = done + redirect_penalty
+                        fetch_stall_until = done + config.redirect_penalty
                         redirect_branch = -1
                         waiting_redirect = False
                         wait_reason_is_branch = True
@@ -367,7 +268,7 @@ def simulate_cycle_plan(plan, config, workload=None):
                     if serializing:
                         serializing_block_until = now + 1
                 else:  # ALU / NOP
-                    done = now + alu_latency
+                    done = now + config.alu_latency
                     ready[i] = done
                     complete[i] = done
 
@@ -382,32 +283,31 @@ def simulate_cycle_plan(plan, config, workload=None):
                         unissued_branches.pop(0)
                     else:
                         unissued_branches.remove(i)
-                if serializing and (op == CAS or op == LDSTUB):
+                if serializing and op in (CAS, LDSTUB):
                     break  # drain: nothing younger issues this cycle
 
-            if issued_indices:
-                issued = set(issued_indices)
-                iw = [x for x in iw if x not in issued]
-                activity += len(issued_indices)
+            for i in issued_indices:
+                iw.remove(i)
+            activity += len(issued_indices)
 
         # ---- dispatch -----------------------------------------------------
         dispatched = 0
         while (
             fetch_q
-            and dispatched < dispatch_width
+            and dispatched < config.dispatch_width
             and fetch_q[0][1] <= now
-            and len(rob) - rob_head < rob_size
-            and len(iw) < iw_size
+            and len(rob) - rob_head < config.rob
+            and len(iw) < config.issue_window
         ):
             if (
                 serializing
-                and ops[fetch_q[0][0]] in SERIAL_OPS
+                and ops[fetch_q[0][0]] in (CAS, LDSTUB, MEMBAR)
                 and rob_head < len(rob)
             ):
                 # Pipeline drain: a serializing instruction enters the
                 # backend only once everything older has committed.
                 break
-            i, _ = fetch_q.popleft()
+            i, _ = fetch_q.pop(0)
             rob.append(i)
             iw.append(i)
             op = ops[i]
@@ -425,20 +325,17 @@ def simulate_cycle_plan(plan, config, workload=None):
             fetched = 0
             while (
                 fetch_ptr < n
-                and fetched < fetch_width
-                and len(fetch_q) < fetch_buffer
+                and fetched < config.fetch_width
+                and len(fetch_q) < config.fetch_buffer
             ):
                 i = fetch_ptr
                 if imiss[i]:
                     imiss[i] = False
-                    if perfect_l2:
-                        done = now + l2_latency
-                    else:
-                        done = access(now, pc_lines[i], True, 1)
+                    done = access(now, pcs[i], True, 1)
                     fetch_stall_until = done
                     wait_reason_is_branch = False
                     break
-                fetch_q.append((i, now + frontend_depth))
+                fetch_q.append((i, now + config.frontend_depth))
                 fetch_ptr += 1
                 fetched += 1
                 if mispred[i]:
@@ -454,10 +351,9 @@ def simulate_cycle_plan(plan, config, workload=None):
             head = rob[rob_head]
             if complete[head] < _NEVER:
                 head_op = ops[head]
-                if serializing and head_op in SERIAL_OPS:
+                if head_op in (CAS, LDSTUB, MEMBAR) and serializing:
                     category = "drain"
-                elif dmiss[head] or head_op == LOAD or head_op == CAS \
-                        or head_op == LDSTUB:
+                elif dmiss[head] or head_op in (LOAD, CAS, LDSTUB):
                     category = "memory"
                 else:
                     category = "backend"
@@ -475,11 +371,11 @@ def simulate_cycle_plan(plan, config, workload=None):
 
         # ---- advance time --------------------------------------------------
         tracker.advance(now)
-        if activity or not event_skip:
+        if activity or not config.event_skip:
             stalls[category] += 1
             now += 1
             continue
-        # Fully stalled: jump to the next event (clock bulk-skip).
+        # Fully stalled: jump to the next event.
         next_time = _NEVER
         if completion_events:
             next_time = completion_events[0][0]
@@ -488,26 +384,7 @@ def simulate_cycle_plan(plan, config, workload=None):
             if c < next_time:
                 next_time = c
         for i in iw:
-            w = wake[i]
-            if w < 0:
-                w = 0
-                p = prod1[i]
-                if p >= 0:
-                    r = ready[p]
-                    if r > w:
-                        w = r
-                p = prod2[i]
-                if p >= 0:
-                    r = ready[p]
-                    if r > w:
-                        w = r
-                p = prod3[i]
-                if p >= 0:
-                    r = ready[p]
-                    if r > w:
-                        w = r
-                if w < _NEVER:
-                    wake[i] = w
+            w = operands_ready(i)
             if now < w < next_time:
                 next_time = w
         if fetch_q and fetch_q[0][1] > now:

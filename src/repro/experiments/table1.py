@@ -10,8 +10,9 @@ Overlap_CM is small everywhere (conventional out-of-order hides little
 memory time under compute), and MLP sits in the 1.1-1.4 range.
 """
 
+from repro.analysis.sweep import sweep_cyclesim
 from repro.core.config import MachineConfig
-from repro.cyclesim import CycleSimConfig, run_cyclesim
+from repro.cyclesim import CycleSimConfig
 from repro.experiments.common import (
     DISPLAY_NAMES,
     Exhibit,
@@ -27,17 +28,24 @@ def run(trace_len=None, latencies=(200, 1000), machine=None):
     rows = []
     for name in WORKLOAD_NAMES:
         annotated = get_annotated(name, trace_len)
+        # One sweep-backend call per workload covers every
+        # (latency, perfect-L2) cell of the table.
+        pairs = []
         for latency in latencies:
-            real = run_cyclesim(
-                annotated,
+            pairs.append((
+                f"p{latency}",
                 CycleSimConfig.from_machine(machine, miss_penalty=latency),
-            )
-            perfect = run_cyclesim(
-                annotated,
+            ))
+            pairs.append((
+                f"p{latency}/perfL2",
                 CycleSimConfig.from_machine(
                     machine, miss_penalty=latency, perfect_l2=True
                 ),
-            )
+            ))
+        grid = sweep_cyclesim(annotated, pairs, workload=name).results
+        for latency in latencies:
+            real = grid[f"p{latency}"]
+            perfect = grid[f"p{latency}/perfL2"]
             miss_rate = real.offchip_accesses / real.instructions
             breakdown = cpi_breakdown(
                 cpi=real.cpi,

@@ -8,9 +8,10 @@ the paper's evidence that the epoch model and its window-termination
 rules are complete.
 """
 
+from repro.analysis.sweep import sweep_cyclesim
 from repro.core.config import MachineConfig
 from repro.core.mlpsim import simulate
-from repro.cyclesim import CycleSimConfig, run_cyclesim
+from repro.cyclesim import CycleSimConfig
 from repro.experiments.common import (
     DISPLAY_NAMES,
     Exhibit,
@@ -26,19 +27,29 @@ def run(trace_len=None, sizes=(32, 64, 128), configs="ABC",
     worst_gap = 0.0
     for name in WORKLOAD_NAMES:
         annotated = get_annotated(name, trace_len)
+        # The whole 27-config cyclesim grid goes through the sweep
+        # backend in one call: one shared cycle plan, kernel-batched
+        # serially or fanned out across workers under REPRO_JOBS.
+        pairs = [
+            (
+                f"{size}{letter}/p{latency}",
+                CycleSimConfig.from_machine(
+                    MachineConfig.named(f"{size}{letter}"),
+                    miss_penalty=latency,
+                ),
+            )
+            for size in sizes
+            for letter in configs
+            for latency in latencies
+        ]
+        grid = sweep_cyclesim(annotated, pairs, workload=name).results
         for size in sizes:
             for letter in configs:
                 machine = MachineConfig.named(f"{size}{letter}")
                 mlpsim = simulate(annotated, machine).mlp
                 row = [DISPLAY_NAMES[name], size, letter]
                 for latency in latencies:
-                    cyc = run_cyclesim(
-                        annotated,
-                        CycleSimConfig.from_machine(
-                            machine, miss_penalty=latency
-                        ),
-                    ).mlp
-                    row.append(cyc)
+                    row.append(grid[f"{size}{letter}/p{latency}"].mlp)
                 row.append(mlpsim)
                 rows.append(row)
                 if mlpsim:

@@ -9,9 +9,10 @@ cycle simulator does not implement).  The paper's claim to reproduce:
 all estimates land within 2% of the measured CPI.
 """
 
+from repro.analysis.sweep import sweep_cyclesim
 from repro.core.config import MachineConfig
 from repro.core.mlpsim import simulate
-from repro.cyclesim import CycleSimConfig, run_cyclesim
+from repro.cyclesim import CycleSimConfig
 from repro.experiments.common import (
     DISPLAY_NAMES,
     Exhibit,
@@ -27,21 +28,31 @@ def run(trace_len=None, size=64, configs="ABC", miss_penalty=1000):
     worst_error = 0.0
     for name in WORKLOAD_NAMES:
         annotated = get_annotated(name, trace_len)
+        # Real and perfect-L2 runs for every config letter, through the
+        # sweep backend in one call per workload.
+        pairs = []
+        for letter in configs:
+            machine = MachineConfig.named(f"{size}{letter}")
+            pairs.append((
+                f"{size}{letter}/p{miss_penalty}",
+                CycleSimConfig.from_machine(
+                    machine, miss_penalty=miss_penalty
+                ),
+            ))
+            pairs.append((
+                f"{size}{letter}/p{miss_penalty}/perfL2",
+                CycleSimConfig.from_machine(
+                    machine, miss_penalty=miss_penalty, perfect_l2=True
+                ),
+            ))
+        grid = sweep_cyclesim(annotated, pairs, workload=name).results
         measured = {}
         anchors = {}  # config letter -> (cpi_perf, overlap_cm)
         mlpsim = {}
         for letter in configs:
             machine = MachineConfig.named(f"{size}{letter}")
-            real = run_cyclesim(
-                annotated,
-                CycleSimConfig.from_machine(machine, miss_penalty=miss_penalty),
-            )
-            perfect = run_cyclesim(
-                annotated,
-                CycleSimConfig.from_machine(
-                    machine, miss_penalty=miss_penalty, perfect_l2=True
-                ),
-            )
+            real = grid[f"{size}{letter}/p{miss_penalty}"]
+            perfect = grid[f"{size}{letter}/p{miss_penalty}/perfL2"]
             result = simulate(annotated, machine)
             miss_rate = result.accesses / result.instructions
             overlap = derive_overlap_cm(

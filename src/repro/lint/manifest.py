@@ -2,11 +2,13 @@
 
 ``repro.core.mlpsim_reference`` is the pre-optimization MLPsim engine,
 kept bit-identical as the oracle for the engine-equivalence suite
-(PR 2).  Its usefulness rests entirely on it never changing, so the
-``frozen-oracle`` lint pass verifies the file's SHA-256 against the
-value pinned here.  An edit to the oracle therefore requires an edit
-to this manifest in the same commit — an explicit, reviewable act
-rather than a quiet drive-by change.
+(PR 2), and ``repro.cyclesim.simulator_reference`` is the
+pre-optimization cycle-accurate pipeline simulator frozen the same way
+for the cyclesim-equivalence suite.  Their usefulness rests entirely
+on them never changing, so the ``frozen-oracle`` lint pass verifies
+each file's SHA-256 against the value pinned here.  An edit to an
+oracle therefore requires an edit to this manifest in the same commit
+— an explicit, reviewable act rather than a quiet drive-by change.
 
 The columnar plan payload (PR 7) gets the same treatment: the
 ``schema-version`` pass fingerprints the column set ``plan_payload``
@@ -26,6 +28,14 @@ ORACLE_PATH = "src/repro/core/mlpsim_reference.py"
 #: SHA-256 of the oracle's (newline-normalised) content.
 ORACLE_SHA256 = (
     "b2188eacade21d0d3b056dbe43b99a7ff76fe5d4eee82013fa085dcc6443e961"
+)
+
+#: Root-relative path of the frozen cycle-simulator reference.
+CYCLESIM_ORACLE_PATH = "src/repro/cyclesim/simulator_reference.py"
+
+#: SHA-256 of the cyclesim oracle's (newline-normalised) content.
+CYCLESIM_ORACLE_SHA256 = (
+    "725733cdb43602f3b61201e1c3172c8f0f63f3970e858519a4db5401b7b83e46"
 )
 
 #: Root-relative path of the columnar plan module.

@@ -44,6 +44,7 @@ MANIFEST_PATH = "src/repro/lint/manifest.py"
 _ALLOWED_DIRTY = frozenset({
     MANIFEST_PATH,
     manifest.ORACLE_PATH,
+    manifest.CYCLESIM_ORACLE_PATH,
     manifest.PAYLOAD_SCHEMA_PATH,
 })
 
@@ -52,11 +53,13 @@ _TEMPLATE = '''\
 
 ``repro.core.mlpsim_reference`` is the pre-optimization MLPsim engine,
 kept bit-identical as the oracle for the engine-equivalence suite
-(PR 2).  Its usefulness rests entirely on it never changing, so the
-``frozen-oracle`` lint pass verifies the file's SHA-256 against the
-value pinned here.  An edit to the oracle therefore requires an edit
-to this manifest in the same commit — an explicit, reviewable act
-rather than a quiet drive-by change.
+(PR 2), and ``repro.cyclesim.simulator_reference`` is the
+pre-optimization cycle-accurate pipeline simulator frozen the same way
+for the cyclesim-equivalence suite.  Their usefulness rests entirely
+on them never changing, so the ``frozen-oracle`` lint pass verifies
+each file's SHA-256 against the value pinned here.  An edit to an
+oracle therefore requires an edit to this manifest in the same commit
+— an explicit, reviewable act rather than a quiet drive-by change.
 
 The columnar plan payload (PR 7) gets the same treatment: the
 ``schema-version`` pass fingerprints the column set ``plan_payload``
@@ -76,6 +79,14 @@ ORACLE_PATH = "{oracle_path}"
 #: SHA-256 of the oracle's (newline-normalised) content.
 ORACLE_SHA256 = (
     "{oracle_sha256}"
+)
+
+#: Root-relative path of the frozen cycle-simulator reference.
+CYCLESIM_ORACLE_PATH = "{cyclesim_oracle_path}"
+
+#: SHA-256 of the cyclesim oracle's (newline-normalised) content.
+CYCLESIM_ORACLE_SHA256 = (
+    "{cyclesim_oracle_sha256}"
 )
 
 #: Root-relative path of the columnar plan module.
@@ -156,6 +167,9 @@ def update_manifest(root="."):
     oracle_sha = hashlib.sha256(
         _read_normalised(root, manifest.ORACLE_PATH).encode()
     ).hexdigest()
+    cyclesim_oracle_sha = hashlib.sha256(
+        _read_normalised(root, manifest.CYCLESIM_ORACLE_PATH).encode()
+    ).hexdigest()
 
     columnar_source = _read_normalised(root, manifest.PAYLOAD_SCHEMA_PATH)
     try:
@@ -179,6 +193,8 @@ def update_manifest(root="."):
     content = _TEMPLATE.format(
         oracle_path=manifest.ORACLE_PATH,
         oracle_sha256=oracle_sha,
+        cyclesim_oracle_path=manifest.CYCLESIM_ORACLE_PATH,
+        cyclesim_oracle_sha256=cyclesim_oracle_sha,
         payload_schema_path=manifest.PAYLOAD_SCHEMA_PATH,
         payload_schema_version=version[0],
         payload_schema_sha256=fingerprint,
@@ -209,6 +225,7 @@ def update_manifest(root="."):
 
     return {
         "oracle_sha256": oracle_sha,
+        "cyclesim_oracle_sha256": cyclesim_oracle_sha,
         "payload_schema_version": version[0],
         "payload_schema_sha256": fingerprint,
         "changed": changed,

@@ -3,8 +3,13 @@
 This is the only cache model the reproduction needs: the paper's
 hierarchy is write-allocate and the MLP study cares solely about *which*
 accesses leave the chip, not about writeback traffic or coherence.  Each
-set keeps its ways in MRU-to-LRU order in a short Python list, which is
-both simple and fast at the 4-way associativities used here.
+set maps resident lines to the per-set age at which they were last
+touched; the LRU victim is the minimum-age line.  A hit is then one
+dict store instead of the ``list.remove`` + ``insert`` shuffle of the
+earlier MRU-ordered-list representation, while eviction order is
+provably identical: recency-of-last-touch is exactly what the ordered
+list encoded (``tests/test_memory.py`` pins this against a reference
+MRU-list model).
 """
 
 import dataclasses
@@ -50,7 +55,10 @@ class Cache:
         self.name = name
         self._line_shift = config.line_shift
         self._set_mask = config.num_sets - 1
-        self._sets = [[] for _ in range(config.num_sets)]
+        # line -> age of last touch, one dict and one monotonically
+        # increasing age counter per set.
+        self._sets = [{} for _ in range(config.num_sets)]
+        self._ages = [0] * config.num_sets
         self._assoc = config.associativity
         self.hits = 0
         self.misses = 0
@@ -59,21 +67,25 @@ class Cache:
         line = addr >> self._line_shift
         return line & self._set_mask, line
 
+    def _touch(self, set_index, ways, line):
+        """Stamp *line* as most recently used; evict the LRU overflow."""
+        age = self._ages[set_index]
+        self._ages[set_index] = age + 1
+        ways[line] = age
+        if len(ways) > self._assoc:
+            del ways[min(ways, key=ways.get)]
+
     def access(self, addr):
         """Access *addr*: return True on hit; allocate the line on a miss."""
         set_index, line = self._index(addr)
         ways = self._sets[set_index]
-        if line in ways:
+        hit = line in ways
+        if hit:
             self.hits += 1
-            if ways[0] != line:
-                ways.remove(line)
-                ways.insert(0, line)
-            return True
-        self.misses += 1
-        ways.insert(0, line)
-        if len(ways) > self._assoc:
-            ways.pop()
-        return False
+        else:
+            self.misses += 1
+        self._touch(set_index, ways, line)
+        return hit
 
     def probe(self, addr):
         """Return True if *addr*'s line is resident (no state change)."""
@@ -83,24 +95,12 @@ class Cache:
     def fill(self, addr):
         """Install *addr*'s line (e.g. a prefetch fill) as MRU."""
         set_index, line = self._index(addr)
-        ways = self._sets[set_index]
-        if line in ways:
-            if ways[0] != line:
-                ways.remove(line)
-                ways.insert(0, line)
-            return
-        ways.insert(0, line)
-        if len(ways) > self._assoc:
-            ways.pop()
+        self._touch(set_index, self._sets[set_index], line)
 
     def invalidate(self, addr):
         """Drop *addr*'s line if resident; return True if it was."""
         set_index, line = self._index(addr)
-        ways = self._sets[set_index]
-        if line in ways:
-            ways.remove(line)
-            return True
-        return False
+        return self._sets[set_index].pop(line, None) is not None
 
     def reset_stats(self):
         """Zero the hit/miss counters (e.g. after cache warmup)."""

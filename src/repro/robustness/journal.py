@@ -56,6 +56,16 @@ _RESULT_SCALARS = (
     "store_accesses", "store_epochs",
 )
 
+#: CycleMetrics fields journalled verbatim (ints and strings).  A
+#: cyclesim payload is marked ``"kind": "cyclesim"``; payloads without
+#: the marker are MLPResults (journals written before the cycle tier
+#: joined the sweep backend replay unchanged).
+_CYCLE_RESULT_SCALARS = (
+    "workload", "label", "instructions", "cycles", "offchip_accesses",
+    "dmiss_accesses", "imiss_accesses", "prefetch_accesses",
+    "nonzero_cycles", "outstanding_integral",
+)
+
 
 def _canonical(value):
     """Project *value* onto JSON-stable primitives, recursively.
@@ -105,15 +115,31 @@ def config_key(workload, seed, trace_len, machine):
 
 
 def result_to_payload(result):
-    """Project an :class:`MLPResult` onto a JSON-safe dict.
+    """Project an :class:`MLPResult` or :class:`CycleMetrics` onto a
+    JSON-safe dict.
 
     Raises
     ------
     JournalError
-        If the result carries ``epoch_records`` (per-epoch member sets
-        from ``record_sets=True`` runs) — those are debugging payloads
-        a sweep never produces and the journal does not persist.
+        If an MLPResult carries ``epoch_records`` (per-epoch member
+        sets from ``record_sets=True`` runs) — those are debugging
+        payloads a sweep never produces and the journal does not
+        persist.
     """
+    # Imported lazily: repro.robustness loads during repro.core.config,
+    # before the cyclesim package (which needs core.config) can exist.
+    from repro.cyclesim.metrics import STALL_CATEGORIES, CycleMetrics
+
+    if isinstance(result, CycleMetrics):
+        payload = {
+            name: getattr(result, name) for name in _CYCLE_RESULT_SCALARS
+        }
+        payload["kind"] = "cyclesim"
+        payload["stall_cycles"] = {
+            category: result.stall_cycles.get(category, 0)
+            for category in STALL_CATEGORIES
+        }
+        return payload
     if result.epoch_records is not None:
         raise JournalError(
             "results with epoch_records cannot be journalled"
@@ -129,7 +155,31 @@ def result_to_payload(result):
 
 
 def result_from_payload(payload):
-    """Rebuild the exact :class:`MLPResult` a payload came from."""
+    """Rebuild the exact result object a payload came from.
+
+    Dispatches on the ``"kind"`` marker: ``"cyclesim"`` payloads
+    restore :class:`CycleMetrics`, unmarked payloads restore
+    :class:`MLPResult` (every journal written before the marker
+    existed).  All persisted fields are ints and strings, so the
+    round-trip is exact and a resumed sweep stays bit-identical.
+    """
+    if payload.get("kind") == "cyclesim":
+        from repro.cyclesim.metrics import STALL_CATEGORIES, CycleMetrics
+
+        try:
+            scalars = {
+                name: payload[name] for name in _CYCLE_RESULT_SCALARS
+            }
+            stall_cycles = {
+                category: int(payload["stall_cycles"][category])
+                for category in STALL_CATEGORIES
+            }
+        except (KeyError, TypeError) as exc:
+            raise JournalError(
+                f"journalled cyclesim result is missing field {exc}",
+                field="result",
+            ) from None
+        return CycleMetrics(stall_cycles=stall_cycles, **scalars)
     try:
         scalars = {name: payload[name] for name in _RESULT_SCALARS}
         inhibitors = InhibitorCounts.from_dict(payload["inhibitors"])

@@ -239,6 +239,23 @@ class _Worker:
         self.started = None
 
 
+def _simulate_config(annotated, machine, workload):
+    """Run one grid point, dispatching on the config's engine family.
+
+    A supervised sweep carries either MLPsim
+    :class:`~repro.core.config.MachineConfig` entries or cyclesim
+    :class:`~repro.cyclesim.config.CycleSimConfig` entries; both ride
+    the same journal, retry and quarantine machinery.
+    """
+    from repro.core.mlpsim import simulate
+    from repro.cyclesim.config import CycleSimConfig
+    from repro.cyclesim.simulator import run_cyclesim
+
+    if isinstance(machine, CycleSimConfig):
+        return run_cyclesim(annotated, machine, workload=workload)
+    return simulate(annotated, machine, workload=workload)
+
+
 def _worker_main(worker_id, task_queue, result_queue, spill_path,
                  fault_spec, workload):
     """Sweep worker loop: take a task, simulate, return the result.
@@ -250,7 +267,6 @@ def _worker_main(worker_id, task_queue, result_queue, spill_path,
     shutdown sentinel.
     """
     from repro.analysis import parallel
-    from repro.core.mlpsim import simulate
 
     if spill_path is not None:
         from repro.trace.io import load_annotated
@@ -266,7 +282,7 @@ def _worker_main(worker_id, task_queue, result_queue, spill_path,
         task_index, label, machine, attempt = item
         try:
             plan.apply_in_worker(label, attempt)
-            result = simulate(annotated, machine, workload=workload)
+            result = _simulate_config(annotated, machine, workload)
         except Exception as exc:
             result_queue.put(
                 (worker_id, task_index, False,
@@ -334,8 +350,6 @@ class _SweepState:
 
 def _run_serial(annotated, tasks, state):
     """Drain *tasks* in grid order on the serial backend."""
-    from repro.core.mlpsim import simulate
-
     policy = state.policy
     for task in tasks:
         while True:
@@ -357,8 +371,8 @@ def _run_serial(annotated, tasks, state):
                     # Inside the deadline: a fault-injected hang models
                     # the simulation hanging, so SIGALRM must cover it.
                     state.plan.apply_serial(task.label, task.attempts)
-                    result = simulate(
-                        annotated, task.machine, workload=state.workload
+                    result = _simulate_config(
+                        annotated, task.machine, state.workload
                     )
             except (KeyboardInterrupt, SystemExit):
                 raise

@@ -17,6 +17,8 @@ import pytest
 from repro.cli import main
 from repro.lint import run_lint
 from repro.lint.manifest import (
+    CYCLESIM_ORACLE_PATH,
+    CYCLESIM_ORACLE_SHA256,
     ORACLE_PATH,
     ORACLE_SHA256,
     PAYLOAD_SCHEMA_PATH,
@@ -51,6 +53,7 @@ _PARITY_SOURCES = (
     "src/repro/core/mlpsim.py",
     PAYLOAD_SCHEMA_PATH,
     ORACLE_PATH,
+    CYCLESIM_ORACLE_PATH,
 )
 
 
@@ -206,6 +209,7 @@ class TestManifestUpdate:
         result = update_manifest(root)
         assert result["changed"] is False
         assert result["oracle_sha256"] == ORACLE_SHA256
+        assert result["cyclesim_oracle_sha256"] == CYCLESIM_ORACLE_SHA256
         assert result["payload_schema_sha256"] == PAYLOAD_SCHEMA_SHA256
 
     def test_regenerates_a_stale_manifest_atomically(self, tmp_path):
@@ -218,6 +222,7 @@ class TestManifestUpdate:
         assert result["changed"] is True
         content = (root / MANIFEST_PATH).read_text()
         assert ORACLE_SHA256 in content
+        assert CYCLESIM_ORACLE_SHA256 in content
         assert PAYLOAD_SCHEMA_SHA256 in content
         # Byte-identical to the checked-in manifest: the template and
         # the real file cannot drift apart unnoticed.

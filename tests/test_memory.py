@@ -104,6 +104,82 @@ def test_cache_occupancy_bounded_property(line_ids):
         assert c.access(line * 64) == resident
 
 
+class _MRUListCache:
+    """Reference model: the pre-optimization MRU-ordered-list cache.
+
+    ``repro.memory.cache.Cache`` replaced per-set MRU lists with a
+    per-set age counter; this model keeps the original representation
+    so the property below can prove the two agree on *every* hit/miss
+    outcome and on the exact eviction order.
+    """
+
+    def __init__(self, num_sets, assoc, line_shift=6):
+        self._sets = [[] for _ in range(num_sets)]
+        self._mask = num_sets - 1
+        self._shift = line_shift
+        self._assoc = assoc
+
+    def access(self, addr):
+        line = addr >> self._shift
+        ways = self._sets[line & self._mask]
+        if line in ways:
+            if ways[0] != line:
+                ways.remove(line)
+                ways.insert(0, line)
+            return True, None
+        ways.insert(0, line)
+        victim = ways.pop() if len(ways) > self._assoc else None
+        return False, victim
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["access", "fill", "invalidate"]),
+            st.integers(0, 127),
+        ),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_age_counter_matches_mru_list_eviction_order(ops):
+    """The age-counter LRU evicts exactly what the MRU list would.
+
+    Every access outcome (hit/miss) and every victim choice must match
+    the reference model, op for op — the representation change is pure
+    mechanism.  Evictions are observed as residency lost across an
+    access that did not invalidate the line.
+    """
+    num_sets, assoc = 4, 4
+    c = tiny_cache(size=num_sets * assoc * 64, assoc=assoc)
+    model = _MRUListCache(num_sets, assoc)
+    resident = set()
+    for op, line_id in ops:
+        addr = line_id * 64
+        if op == "invalidate":
+            was_resident = addr >> 6 in resident
+            assert c.invalidate(addr) == was_resident
+            resident.discard(addr >> 6)
+            ways = model._sets[(addr >> 6) & model._mask]
+            if addr >> 6 in ways:
+                ways.remove(addr >> 6)
+            continue
+        hit, victim = model.access(addr)
+        if op == "access":
+            assert c.access(addr) == hit
+        else:
+            c.fill(addr)  # same replacement path, no stat counting
+        resident.add(addr >> 6)
+        if victim is not None:
+            resident.discard(victim)
+            assert not c.probe(victim * 64)
+        # Full residency agreement, not just the victim just chosen.
+        for line in resident:
+            assert c.probe(line * 64)
+    assert c.occupancy() == len(resident)
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.lists(st.integers(0, 200), min_size=1, max_size=100))
 def test_fully_associative_set_is_true_lru(addresses):
