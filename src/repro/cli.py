@@ -412,7 +412,8 @@ def cmd_lint(args):
 
     if args.list:
         for pass_id, cls in sorted(registered_passes().items()):
-            print(f"{pass_id:<18} {cls.description}")
+            severity = cls.severity.value
+            print(f"{pass_id:<18} {severity:<8} {cls.description}")
         return 0
     if args.manifest_update:
         from repro.lint.update import ManifestUpdateError, update_manifest
@@ -427,6 +428,10 @@ def cmd_lint(args):
         print(f"  oracle sha256          {result['oracle_sha256']}")
         print(f"  payload schema version {result['payload_schema_version']}")
         print(f"  payload fingerprint    {result['payload_schema_sha256']}")
+        for name, sha in sorted(
+            result["plan_contract_fingerprints"].items()
+        ):
+            print(f"  {name:<22} {sha}")
         return 0
     select = None
     if args.select:
@@ -436,9 +441,16 @@ def cmd_lint(args):
             for item in chunk.split(",")
             if item.strip()
         ]
-    findings = run_lint(args.root, select=select)
+    stats = {} if args.stats else None
+    findings = run_lint(args.root, select=select, stats=stats)
     if args.format == "json":
         print(json.dumps([f.to_dict() for f in findings], indent=2))
+    elif args.format == "sarif":
+        from repro.lint.sarif import sarif_payload
+
+        print(json.dumps(
+            sarif_payload(findings, registered_passes()), indent=2
+        ))
     elif args.format == "github":
         # GitHub Actions workflow-command annotations: each finding
         # becomes an inline ::error/::warning marker on the PR diff.
@@ -455,6 +467,20 @@ def cmd_lint(args):
         print(
             f"reprolint: {len(findings)} finding(s)"
             f" ({ran}, root {args.root})"
+        )
+    if stats is not None:
+        # One line per pass plus the parse ledger, on stderr so the
+        # structured stdout formats stay machine-parseable.
+        for entry in stats["passes"]:
+            print(
+                f"stats: {entry['id']:<18} {entry['seconds']*1000:9.1f} ms"
+                f"  {entry['findings']} finding(s)",
+                file=sys.stderr,
+            )
+        print(
+            f"stats: files parsed once: {stats['files_parsed']}"
+            f" (py + C extract/unit, shared across passes)",
+            file=sys.stderr,
         )
     errors = [f for f in findings if f.severity is Severity.ERROR]
     return 1 if errors else 0
@@ -609,15 +635,20 @@ def build_parser():
     p = sub.add_parser("lint", help="statically check repository invariants")
     p.add_argument("--root", default=".",
                    help="project root (the directory containing src/repro)")
-    p.add_argument("--format", choices=["text", "json", "github"],
+    p.add_argument("--format", choices=["text", "json", "github", "sarif"],
                    default="text",
                    help="output format (github emits workflow-command"
-                   " annotations for CI; default text)")
+                   " annotations for CI; sarif emits a SARIF 2.1.0 log"
+                   " for code-scanning upload; default text)")
     p.add_argument("--select", action="append", metavar="PASS[,PASS...]",
                    help="run only these passes (repeatable or"
                    " comma-separated; see --list)")
     p.add_argument("--list", action="store_true",
-                   help="list the registered passes and exit")
+                   help="list the registered passes (id, default"
+                   " severity, description) and exit")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-pass wall time and the shared-parse"
+                   " ledger to stderr after the findings")
     p.add_argument("--manifest-update", action="store_true",
                    help="regenerate the pinned oracle SHA and payload"
                    " schema fingerprint in repro.lint.manifest (atomic;"

@@ -128,6 +128,7 @@ typedef struct {
     int64_t nd_len;
 } Scan;
 
+/* certify: requires inhibitor >= 0 && inhibitor <= INH_COUNT - 1 */
 static inline void emit(Scan *s, int inhibitor)
 {
     if (s->ev_count == 0)
@@ -136,6 +137,7 @@ static inline void emit(Scan *s, int inhibitor)
     s->ev_count++;
 }
 
+/* certify: returns 0 .. 1 */
 static inline int slow_bp_saves(const KernelConfig *c, int64_t i)
 {
     if (!c->slow_bp)
@@ -144,6 +146,8 @@ static inline int slow_bp_saves(const KernelConfig *c, int64_t i)
         < c->slow_bp_threshold;
 }
 
+/* certify: requires i >= 0 && i <= n - 1 */
+/* certify: requires ve >= 0 && ve <= (1 << 30) */
 static inline int execute_atomic(const Trace *t, const KernelConfig *c,
                                  Scan *s, int64_t i, int32_t ve)
 {
@@ -169,6 +173,7 @@ static inline int execute_atomic(const Trace *t, const KernelConfig *c,
 }
 
 /* Mirror of the Python engine's execute(i), status for status. */
+/* certify: requires i >= 0 && i <= n - 1 */
 static int execute(const Trace *t, const KernelConfig *c, Scan *s, int64_t i)
 {
     const int op = t->ops[i];
@@ -409,6 +414,7 @@ static int execute(const Trace *t, const KernelConfig *c, Scan *s, int64_t i)
 #define FS_HARD 1
 #define FS_SOFT 2
 
+/* certify: buffer imiss_src length n content 0 .. 1 */
 static void simulate_one(Trace *t, const KernelConfig *c, KernelResult *r,
                          const uint8_t *imiss_src)
 {
@@ -431,6 +437,10 @@ static void simulate_one(Trace *t, const KernelConfig *c, KernelResult *r,
     r->error_index = -1;
 
     while (fetch_pos < n || deferred_len) {
+        /* certify: assume epoch <= (1 << 28) - 2 -- every epoch either
+         * makes progress (retiring or fetching at least one of the n
+         * instructions) or returns through the no-progress error path,
+         * so the count stays under ~3n and n <= 1 << 26 */
         epoch++;
         s.epoch = epoch;
         s.accesses = 0;
@@ -635,7 +645,9 @@ static void simulate_one(Trace *t, const KernelConfig *c, KernelResult *r,
         r->dmiss_accesses += s.e_dmiss;
         r->imiss_accesses += s.e_imiss;
         r->prefetch_accesses += s.e_pmiss;
-        r->inhibitors[s.ev_count ? s.ev_first : INH_END_OF_TRACE]++;
+        /* reprolint: disable=kernel-bounds -- emit() sets ev_first in [0, INH_COUNT) whenever ev_count > 0; the interval domain cannot couple the two fields */
+        r->inhibitors[s.ev_count ? s.ev_first
+                                 : INH_END_OF_TRACE]++;
     }
 }
 

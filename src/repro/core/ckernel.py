@@ -26,6 +26,7 @@ import tempfile
 
 import numpy as np
 
+from repro.core.columnar import validate_plan_contract
 from repro.core.results import MLPResult
 from repro.core.termination import Inhibitor, InhibitorCounts
 from repro.isa.opclass import OpClass
@@ -298,6 +299,12 @@ def run_plan(plan, machines, workload):
         *[_config_struct(machine) for _, machine in pairs]
     )
     results = (_KernelResult * len(pairs))()
+
+    # The kernel's bounds/overflow certification assumes exactly the
+    # PLAN_CONTRACT ranges; refuse to call it with anything outside
+    # them (the plan-contract lint pass proves this call dominates the
+    # kernel invocation).
+    validate_plan_contract(plan, configs)
 
     status = _kernel(
         n,

@@ -52,7 +52,7 @@ from repro.core.depgraph import depgraph_for
 from repro.core.mlpsim import _event_arrays, resolve_region
 from repro.isa.opclass import OpClass
 from repro.isa.registers import REG_ZERO
-from repro.robustness.errors import TraceFormatError
+from repro.robustness.errors import InternalError, TraceFormatError
 
 #: Version of the columnar plan layout.  Annotation cache entries are
 #: keyed on it so pre-columnar archives cannot be misread as current.
@@ -78,6 +78,100 @@ PLAN_COLUMNS = (
     ("is_memop", np.bool_),
     ("scalar_mask", np.bool_),
 )
+
+
+#: Machine-checked value-range contract between the plan builder and
+#: the compiled kernel.  Every bound is an ``int`` or a
+#: ``[symbol, offset]`` pair over the region length ``n``; column
+#: entries bound the values inside each array the kernel receives,
+#: ``config`` entries bound the ``_KernelConfig`` fields.  The
+#: ``plan-contract`` lint pass requires this literal to equal
+#: ``repro.lint.certify.contracts.MLPSIM_PLAN_FACTS`` (the facts the
+#: C bounds/overflow proof assumes) and to be enforced by
+#: :func:`validate_plan_contract` before every kernel call, so edits
+#: here without a matching contract + manifest update fail the build.
+PLAN_CONTRACT = {
+    "n_max": 1 << 26,
+    "columns": {
+        "ops": [0, 8],
+        "prod1": [0, ["n", 0]],
+        "prod2": [0, ["n", 0]],
+        "prod3": [0, ["n", 0]],
+        "memdep": [0, ["n", 0]],
+        "dmiss": [0, 1],
+        "imiss": [0, 1],
+        "mispred": [0, 1],
+        "pmiss": [0, 1],
+        "pfuseful": [0, 1],
+        "vp_ok": [0, 1],
+        "smiss": [0, 1],
+        "scalar_mask": [0, 1],
+    },
+    "config": {
+        "rob": [1, 1 << 24],
+        "iw": [1, 1 << 24],
+        "fetch_buffer": [0, 1 << 24],
+        "serializing": [0, 1],
+        "load_in_order": [0, 1],
+        "load_wait_staddr": [0, 1],
+        "branch_in_order": [0, 1],
+        "mshr_cap": [1, 1 << 30],
+        "sb_cap": [0, 1 << 30],
+        "slow_bp": [0, 1],
+        "slow_bp_threshold": [0, 1 << 20],
+    },
+}
+
+
+def contract_bound(form, n):
+    """Evaluate a contract bound (``int`` or ``[symbol, offset]``) at *n*."""
+    if isinstance(form, int):
+        return form
+    sym, offset = form
+    if sym != "n":
+        raise InternalError(f"unknown contract bound symbol {sym!r}")
+    return n + offset
+
+
+def validate_plan_contract(plan, configs):
+    """Enforce :data:`PLAN_CONTRACT` on what is about to cross into C.
+
+    Called by :func:`repro.core.ckernel.run_plan` immediately before
+    the kernel invocation — the C kernel's bounds/overflow proof
+    assumes exactly these ranges, so handing it anything outside them
+    would void the certification.
+
+    Raises
+    ------
+    repro.robustness.errors.InternalError
+        If the region is too long, a column holds a value outside its
+        contracted range, or a config field is out of range.
+    """
+    n = len(plan)
+    if n > PLAN_CONTRACT["n_max"]:
+        raise InternalError(
+            f"plan region has {n} instructions; the compiled kernel is"
+            f" certified for at most {PLAN_CONTRACT['n_max']}"
+        )
+    if n:
+        for name, (lo, hi) in PLAN_CONTRACT["columns"].items():
+            column = getattr(plan, name)
+            vmin, vmax = int(column.min()), int(column.max())
+            lo_v, hi_v = contract_bound(lo, n), contract_bound(hi, n)
+            if vmin < lo_v or vmax > hi_v:
+                raise InternalError(
+                    f"plan column {name!r} spans [{vmin}, {vmax}] but"
+                    f" the kernel contract requires [{lo_v}, {hi_v}]"
+                )
+    for config in configs:
+        for field, (lo, hi) in PLAN_CONTRACT["config"].items():
+            value = int(getattr(config, field))
+            lo_v, hi_v = contract_bound(lo, n), contract_bound(hi, n)
+            if value < lo_v or value > hi_v:
+                raise InternalError(
+                    f"kernel config field {field!r} = {value} outside"
+                    f" the contracted range [{lo_v}, {hi_v}]"
+                )
 
 
 def mask_key(machine):

@@ -115,18 +115,22 @@ typedef struct {
     int64_t integral;
 } Tracker;
 
+/* certify: requires now >= 0 && now <= (1 << 53) */
 static void trk_advance(Tracker *t, int64_t now)
 {
     int64_t elapsed = now - t->last_time;
     if (elapsed > 0) {
         if (t->count > 0) {
             t->nonzero += elapsed;
+            /* reprolint: disable=kernel-overflow -- integral sums count*dt over disjoint spans (at most 2n accesses outstanding for at most miss_penalty cycles each, < 2^47 total); the interval domain loses the span correlation and sees 2^53 * 2^27 */
             t->integral += elapsed * t->count;
         }
         t->last_time = now;
     }
 }
 
+/* certify: requires now >= 0 && now <= (1 << 53) */
+/* certify: requires delta >= -1 && delta <= 1 */
 static void trk_add(Tracker *t, int64_t now, int64_t delta)
 {
     trk_advance(t, now);
@@ -170,6 +174,7 @@ typedef struct {
     int64_t miss_penalty;
 } Ctx;
 
+/* certify: returns 0 .. HASH_SIZE - 1 */
 static uint64_t hash_line(int64_t line)
 {
     uint64_t h = (uint64_t)line;
@@ -178,6 +183,10 @@ static uint64_t hash_line(int64_t line)
 }
 
 /* Start (or merge into) an off-chip access; returns completion time. */
+/* certify: requires now >= 0 && now <= (1 << 52) */
+/* certify: requires line >= 0 && line <= (1 << 57) */
+/* certify: requires useful >= 0 && useful <= 1 */
+/* certify: returns 0 .. (1 << 53) */
 static int64_t do_access(Ctx *c, int64_t now, int64_t line, int useful,
                          int kind)
 {
@@ -193,6 +202,10 @@ static int64_t do_access(Ctx *c, int64_t now, int64_t line, int useful,
         return c->ent_done[e];
     }
     int64_t done = now + c->miss_penalty;
+    /* certify: assume c->ce_tail <= 2 * n - 1 -- at most two wheel
+       entries per instruction (one pc line at fetch, gated by
+       imiss_run; one data line at issue, and each instruction issues
+       once), so the tail never reaches 2n */
     e = (int32_t)c->ce_tail++;
     c->ent_done[e] = done;
     c->ent_line[e] = line;
@@ -212,6 +225,8 @@ static int64_t do_access(Ctx *c, int64_t now, int64_t line, int useful,
     return done;
 }
 
+/* certify: requires i >= 0 && i <= n - 1 */
+/* certify: returns 0 .. NEVER */
 static int64_t wake_of(Ctx *c, int64_t i)
 {
     int64_t w = c->wake[i];
@@ -233,17 +248,26 @@ static int64_t wake_of(Ctx *c, int64_t i)
 }
 
 /* Remove *value* from an order-preserving array list (always present). */
+/* certify: requires *count >= 1 && *count <= iw_alloc */
+/* certify: requires value >= 0 && value <= n - 1 */
+/* certify: buffer buf length iw_alloc content 0 .. n - 1 */
 static void list_remove(int64_t *buf, int64_t *count, int64_t value)
 {
     int64_t k = 0;
+    /* certify: assume k <= *count - 1 -- value is always present among
+       the first *count live entries (callers only remove instructions
+       they inserted at dispatch), so the scan stops before the end */
     while (buf[k] != value)
         k++;
     (*count)--;
-    memmove(buf + k, buf + k + 1, (size_t)(*count - k) * sizeof(int64_t));
+    /* certify: assume k <= *count -- the removed slot sits at or before
+       the new count (k was below the old count, checked above) */
+    memmove(buf + k, buf + k + 1, (size_t)(*count - k) * sizeof(int64_t));  /* reprolint: disable=kernel-bounds -- shifts the (*count - k) in-bounds tail left by one slot; the interval domain cannot relate the source pointer buf + k + 1 to the declared buffer base, and 0 <= k <= *count is established by the assumes above */
 }
 
 static void run_one(Ctx *c, const CycleConfig *cfg)
 {
+    /* certify: assume cfg->rob <= rob_alloc && cfg->issue_window <= iw_alloc && cfg->fetch_buffer <= fq_alloc -- cyclesim_batch sizes the scratch buffers to the maxima over all configs */
     const int64_t n = c->n;
     const int8_t *ops = c->ops;
     const int32_t *memdep = c->memdep;
@@ -304,6 +328,7 @@ static void run_one(Ctx *c, const CycleConfig *cfg)
     int64_t committed = 0;
 
     while (committed < n) {
+        /* certify: assume now >= 0 && now <= (1 << 52) && rob_count >= 0 && rob_count <= rob_alloc && rob_head >= 0 && rob_head <= rob_alloc - 1 && iw_count >= 0 && iw_count <= iw_alloc && fq_count >= 0 && fq_count <= fq_alloc && fq_head >= 0 && fq_head <= fq_alloc - 1 && memops_count >= 0 && memops_count <= iw_alloc && branches_count >= 0 && branches_count <= iw_alloc && urs_head >= 0 && urs_head <= urs_tail && urs_tail >= 0 && urs_tail <= n -- cycle-loop invariants: every queue insertion below is guarded by its capacity check, ring heads wrap on increment, at most one unresolved store per instruction, and simulated time only jumps to already-scheduled events (each at most miss_penalty ahead; total work is bounded by 3n events) */
         /* Retire completed off-chip accesses. */
         while (c->ce_head < c->ce_tail && c->ent_done[c->ce_head] <= now) {
             int64_t e = c->ce_head++;
@@ -312,6 +337,9 @@ static void run_one(Ctx *c, const CycleConfig *cfg)
             if (cur == (int32_t)e) {
                 c->hash_head[b] = c->ent_next[e];
             } else {
+                /* certify: assume cur >= 0 -- entry e is always linked
+                   into its line's hash chain, so the walk stays inside
+                   the chain until it finds e */
                 while (c->ent_next[cur] != (int32_t)e)
                     cur = c->ent_next[cur];
                 c->ent_next[cur] = c->ent_next[e];
@@ -334,8 +362,16 @@ static void run_one(Ctx *c, const CycleConfig *cfg)
             if (rob_head == c->rob_alloc)
                 rob_head = 0;
             rob_count--;
+            /* certify: assume committed <= n - 1 -- each commit retires
+               a distinct one of the n instructions */
             committed++;
+            /* certify: assume committed_this_cycle <= (1 << 16) - 1 --
+               one increment per commit-loop iteration, and the loop is
+               bounded by commit_width <= 2^16 */
             committed_this_cycle++;
+            /* certify: assume activity <= (1 << 18) -- at most one
+               increment per commit, issue, dispatch, or fetch slot per
+               cycle, and each width is <= 2^16 */
             activity++;
         }
 
@@ -436,8 +472,10 @@ static void run_one(Ctx *c, const CycleConfig *cfg)
                 c->iw_buf[pos] = -1;  /* compacted below */
                 if (op == OP_LOAD || op == OP_STORE || op == OP_PREFETCH ||
                     op == OP_CAS || op == OP_LDSTUB)
+                    /* certify: assume memops_count >= 1 && memops_count <= iw_alloc -- the op being removed was inserted into memops_buf at dispatch, and the list never outgrows the issue window */
                     list_remove(c->memops_buf, &memops_count, i);
                 if (op == OP_BRANCH)
+                    /* certify: assume branches_count >= 1 && branches_count <= iw_alloc -- the branch being removed was inserted at dispatch, and the list never outgrows the issue window */
                     list_remove(c->branches_buf, &branches_count, i);
                 if (serializing && (op == OP_CAS || op == OP_LDSTUB))
                     break;  /* drain: nothing younger issues this cycle */
@@ -447,9 +485,12 @@ static void run_one(Ctx *c, const CycleConfig *cfg)
                 for (int64_t pos = 0; pos < iw_count; pos++) {
                     int64_t v = c->iw_buf[pos];
                     if (v >= 0)
+                        /* certify: assume w <= pos -- w counts the kept
+                           entries, at most one per scanned slot */
                         c->iw_buf[w++] = v;
                 }
                 iw_count = w;
+                /* certify: assume issued_this_cycle <= (1 << 16) -- bounded by the issue_width guard, which the widened loop exit loses */
                 activity += issued_this_cycle;
             }
         }
@@ -477,14 +518,25 @@ static void run_one(Ctx *c, const CycleConfig *cfg)
             c->iw_buf[iw_count++] = i;
             if (op == OP_LOAD || op == OP_STORE || op == OP_PREFETCH ||
                 op == OP_CAS || op == OP_LDSTUB) {
+                /* certify: assume memops_count >= 0 && memops_count <= iw_alloc - 1 -- every
+                   listed memop also occupies an issue-window slot
+                   (inserted together just above, removed together at
+                   issue), so the list stays below the allocation */
                 c->memops_buf[memops_count++] = i;
                 if (op == OP_STORE && load_wait_staddr)
+                    /* certify: assume urs_tail <= n - 1 -- stores enter
+                       the unresolved-store FIFO once each, so at most n
+                       entries are ever appended */
                     c->urs_buf[urs_tail++] = i;
             }
             if (op == OP_BRANCH)
+                /* certify: assume branches_count >= 0 && branches_count <= iw_alloc - 1 --
+                   every listed branch also occupies an issue-window
+                   slot, so the list stays below the allocation */
                 c->branches_buf[branches_count++] = i;
             dispatched++;
         }
+        /* certify: assume dispatched <= (1 << 16) -- bounded by the dispatch_width guard, which the widened loop exit loses */
         activity += dispatched;
 
         /* ---- fetch ----------------------------------------------- */
@@ -519,6 +571,7 @@ static void run_one(Ctx *c, const CycleConfig *cfg)
                     break;
                 }
             }
+            /* certify: assume fetched <= (1 << 16) -- bounded by the fetch_width guard, which the widened loop exit loses */
             activity += fetched;
         }
 
@@ -567,6 +620,9 @@ static void run_one(Ctx *c, const CycleConfig *cfg)
             if (t < next_time)
                 next_time = t;
         }
+        /* certify: assume iw_count >= 0 && iw_count <= iw_alloc -- the
+           issue-window list never outgrows its allocation (the same
+           cycle-loop invariant assumed at the loop head above) */
         for (int64_t pos = 0; pos < iw_count; pos++) {
             int64_t w = wake_of(c, c->iw_buf[pos]);
             if (now < w && w < next_time)
@@ -591,6 +647,9 @@ static void run_one(Ctx *c, const CycleConfig *cfg)
         now = next_time;
     }
 
+    /* certify: assume now <= (1 << 52) -- simulated time only jumps to
+       already-scheduled events, each at most miss_penalty ahead of the
+       clock; total time is bounded by 3n events * 2^20 < 2^47 */
     trk_advance(&c->trk, now);
     out->cycles = now;
     out->nonzero_cycles = c->trk.nonzero;
@@ -634,6 +693,7 @@ int cyclesim_batch(
         if (configs[k].fetch_buffer > fq_max)
             fq_max = configs[k].fetch_buffer;
     }
+    /* certify: assume rob_max == rob_alloc && iw_max == iw_alloc && fq_max == fq_alloc -- the proof's allocation symbols are defined as exactly these maxima */
     c.rob_alloc = rob_max;
     c.fq_alloc = fq_max;
 
@@ -642,10 +702,10 @@ int cyclesim_batch(
     c.complete = malloc(ni * sizeof(int64_t));
     c.wake = malloc(ni * sizeof(int64_t));
     c.imiss_run = malloc(ni);
-    c.ent_done = malloc(ni * sizeof(int64_t));
-    c.ent_line = malloc(ni * sizeof(int64_t));
-    c.ent_useful = malloc(ni);
-    c.ent_next = malloc(ni * sizeof(int32_t));
+    c.ent_done = malloc(2 * ni * sizeof(int64_t));
+    c.ent_line = malloc(2 * ni * sizeof(int64_t));
+    c.ent_useful = malloc(2 * ni);
+    c.ent_next = malloc(2 * ni * sizeof(int32_t));
     c.hash_head = malloc(HASH_SIZE * sizeof(int32_t));
     c.urs_buf = malloc(ni * sizeof(int64_t));
     c.rob_buf = malloc((size_t)rob_max * sizeof(int64_t));

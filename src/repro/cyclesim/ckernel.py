@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.config import BranchPolicy, LoadPolicy, SerializePolicy
 from repro.cyclesim.metrics import STALL_CATEGORIES, CycleMetrics
+from repro.cyclesim.plan import validate_cycle_plan_contract
 from repro.isa.opclass import OpClass
 from repro.robustness.errors import InternalError
 
@@ -287,6 +288,12 @@ def run_cycle_plan(plan, pairs, workload):
         *[_config_struct(config) for _, config in pairs]
     )
     results = (_KernelResult * len(pairs))()
+
+    # The kernel's bounds/overflow certification assumes exactly the
+    # CYCLE_PLAN_CONTRACT ranges; refuse to call it with anything
+    # outside them (the plan-contract lint pass proves this call
+    # dominates the kernel invocation).
+    validate_cycle_plan_contract(plan, configs)
 
     status = _kernel(
         n,

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.depgraph import depgraph_for
 from repro.core.mlpsim import _event_arrays, resolve_region
-from repro.robustness.errors import TraceFormatError
+from repro.robustness.errors import InternalError, TraceFormatError
 
 #: Version of the cycle-plan payload layout; bump on any change to the
 #: column set or meaning so a stale shared segment cannot be misread.
@@ -50,6 +50,106 @@ CYCLE_PLAN_COLUMNS = (
 #: Payload key distinguishing a cycle plan from a columnar MLPsim plan
 #: inside the shared-memory publication protocol.
 CYCLE_META_KEY = "cycle_meta"
+
+#: Machine-checked value-range contract between the cycle-plan builder
+#: and the compiled kernel.  Bounds are ``int`` or ``[symbol, offset]``
+#: over the region length ``n``; producer columns keep the depgraph's
+#: ``-1`` sentinel (unlike MLPsim plans, which rewrite it to ``n``).
+#: The ``plan-contract`` lint pass requires this literal to equal
+#: ``repro.lint.certify.contracts.CYCLESIM_PLAN_FACTS`` and to be
+#: enforced by :func:`validate_cycle_plan_contract` before every
+#: kernel call, so edits here without a matching contract + manifest
+#: update fail the build.
+CYCLE_PLAN_CONTRACT = {
+    "n_max": 1 << 26,
+    "columns": {
+        "ops": [0, 8],
+        "prod1": [-1, ["n", -1]],
+        "prod2": [-1, ["n", -1]],
+        "prod3": [-1, ["n", -1]],
+        "memdep": [-1, ["n", -1]],
+        "addr_line": [0, 1 << 57],
+        "pc_line": [0, 1 << 57],
+        "dmiss": [0, 1],
+        "imiss": [0, 1],
+        "mispred": [0, 1],
+        "pmiss": [0, 1],
+        "pfuseful": [0, 1],
+    },
+    "config": {
+        "rob": [1, 1 << 20],
+        "issue_window": [1, 1 << 20],
+        "fetch_buffer": [1, 1 << 20],
+        "fetch_width": [1, 1 << 16],
+        "dispatch_width": [1, 1 << 16],
+        "issue_width": [1, 1 << 16],
+        "commit_width": [1, 1 << 16],
+        "frontend_depth": [0, 1 << 16],
+        "alu_latency": [0, 1 << 20],
+        "branch_latency": [0, 1 << 20],
+        "l1_latency": [0, 1 << 20],
+        "l2_latency": [0, 1 << 20],
+        "miss_penalty": [0, 1 << 20],
+        "redirect_penalty": [0, 1 << 20],
+        "load_in_order": [0, 1],
+        "load_wait_staddr": [0, 1],
+        "branch_in_order": [0, 1],
+        "serializing": [0, 1],
+        "perfect_l2": [0, 1],
+        "event_skip": [0, 1],
+    },
+}
+
+
+def _contract_bound(form, n):
+    """Evaluate a contract bound (``int`` or ``[symbol, offset]``) at *n*."""
+    if isinstance(form, int):
+        return form
+    sym, offset = form
+    if sym != "n":
+        raise InternalError(f"unknown contract bound symbol {sym!r}")
+    return n + offset
+
+
+def validate_cycle_plan_contract(plan, configs):
+    """Enforce :data:`CYCLE_PLAN_CONTRACT` before the C kernel runs.
+
+    Called by :func:`repro.cyclesim.ckernel.run_cycle_plan`
+    immediately before the kernel invocation — the C kernel's
+    bounds/overflow proof assumes exactly these ranges.
+
+    Raises
+    ------
+    repro.robustness.errors.InternalError
+        If the region is too long, a column holds a value outside its
+        contracted range, or a config field is out of range.
+    """
+    n = len(plan)
+    if n > CYCLE_PLAN_CONTRACT["n_max"]:
+        raise InternalError(
+            f"cycle plan region has {n} instructions; the compiled"
+            " kernel is certified for at most"
+            f" {CYCLE_PLAN_CONTRACT['n_max']}"
+        )
+    if n:
+        for name, (lo, hi) in CYCLE_PLAN_CONTRACT["columns"].items():
+            column = getattr(plan, name)
+            vmin, vmax = int(column.min()), int(column.max())
+            lo_v, hi_v = _contract_bound(lo, n), _contract_bound(hi, n)
+            if vmin < lo_v or vmax > hi_v:
+                raise InternalError(
+                    f"cycle plan column {name!r} spans [{vmin}, {vmax}]"
+                    f" but the kernel contract requires [{lo_v}, {hi_v}]"
+                )
+    for config in configs:
+        for field, (lo, hi) in CYCLE_PLAN_CONTRACT["config"].items():
+            value = int(getattr(config, field))
+            lo_v, hi_v = _contract_bound(lo, n), _contract_bound(hi, n)
+            if value < lo_v or value > hi_v:
+                raise InternalError(
+                    f"cycle kernel config field {field!r} = {value}"
+                    f" outside the contracted range [{lo_v}, {hi_v}]"
+                )
 
 
 @dataclasses.dataclass

@@ -1,0 +1,470 @@
+"""Declared facts the kernel certification is carried out against.
+
+A kernel contract has four ingredients:
+
+* **symbols** — the sizes the proof is parametric over (``n``,
+  ``nconfigs``, ``rob_alloc``, ...), each with the numeric box the
+  Python side guarantees;
+* **buffers** — for every pointer the kernel touches: its length and
+  the range of its elements, both as expressions over the symbols
+  (``"n + 1"``, ``"2 * n"``, ``"NEVER"``);
+* **field invariants** — per struct-scalar ``[lo, hi]`` facts.  A
+  ``checked`` invariant is verified at every store and may be assumed
+  at every load; a ``trusted`` one (monotone counters whose bound
+  rests on a counting argument, not on any single store) is assumed
+  both ways and must carry a documented reason;
+* **python facts** — the literal ``PLAN_CONTRACT`` /
+  ``CYCLE_PLAN_CONTRACT`` dict the runtime validators in
+  :mod:`repro.core.columnar` and :mod:`repro.cyclesim.plan` enforce.
+  The ``plan-contract`` pass checks those literals match the copies
+  here and that the validators dominate the kernel calls, so the
+  boxes and element ranges this module assumes are themselves
+  machine-checked rather than trusted.
+
+Bounds that feed the C proof are plain strings parsed by the same C
+expression parser the interpreter uses; bounds inside the python-facts
+dicts are ``int`` or ``[symbol, offset]`` pairs so the runtime
+validators can evaluate them with ``ast.literal_eval``-compatible
+syntax.
+"""
+
+import hashlib
+
+from repro.robustness.errors import InternalError
+
+
+class Buf:
+    """A contracted buffer: length and element range over symbols.
+
+    ``trusted`` content (reason required) is assumed on loads but not
+    checked on stores — for monotone counter arrays whose per-element
+    bound rests on an iteration count the interval domain cannot see.
+    """
+
+    __slots__ = ("length", "elem", "lo", "hi", "trusted", "reason")
+
+    def __init__(self, length, elem, lo=None, hi=None, trusted=False,
+                 reason=None):
+        if trusted and not reason:
+            raise InternalError("trusted buffers must document a reason")
+        self.length = length
+        self.elem = elem
+        self.lo = lo
+        self.hi = hi
+        self.trusted = trusted
+        self.reason = reason
+
+
+class Inv:
+    """A scalar field invariant.  ``trusted`` ones need a reason."""
+
+    __slots__ = ("lo", "hi", "trusted", "reason")
+
+    def __init__(self, lo, hi, trusted=False, reason=None):
+        if trusted and not reason:
+            raise InternalError("trusted invariants must document a reason")
+        self.lo = lo
+        self.hi = hi
+        self.trusted = trusted
+        self.reason = reason
+
+
+class StructElem:
+    """A buffer of structs (``configs`` / ``results``)."""
+
+    __slots__ = ("length", "struct")
+
+    def __init__(self, length, struct):
+        self.length = length
+        self.struct = struct
+
+
+class Sym:
+    """An entry parameter that *is* a symbol."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class KernelContract:
+    """Everything the certifier assumes about one C kernel: the entry
+    function, its symbol/buffer/field invariants, and where the
+    matching Python contract literal and runtime validator live."""
+
+    __slots__ = ("path", "entry", "symbols", "buffers", "fields",
+                 "entry_params", "python_path", "python_name",
+                 "python_facts", "driver_path", "driver_name")
+
+    def __init__(self, path, entry, symbols, buffers, fields,
+                 entry_params, python_path, python_name, python_facts,
+                 driver_path, driver_name):
+        self.path = path
+        self.entry = entry
+        self.symbols = symbols
+        self.buffers = buffers          # (owner, field) -> Buf|StructElem
+        self.fields = fields            # (struct, field) -> Inv
+        self.entry_params = entry_params  # name -> Sym|Buf|StructElem
+        self.python_path = python_path
+        self.python_name = python_name
+        self.python_facts = python_facts
+        self.driver_path = driver_path    # module calling the kernel
+        self.driver_name = driver_name    # function wrapping the call
+
+    @property
+    def validator_name(self):
+        """Runtime validator the driver must call before the kernel."""
+        return "validate_" + self.python_name.lower()
+
+
+def _bound_text(form):
+    """Python-facts bound (int or [sym, offset]) as a C expression."""
+    if isinstance(form, int):
+        return str(form)
+    sym, offset = form
+    if offset == 0:
+        return sym
+    return f"{sym} + {offset}" if offset > 0 else f"{sym} - {-offset}"
+
+
+def facts_fingerprint(*facts):
+    """Stable SHA-256 over the python-facts dicts, for the manifest."""
+    digest = hashlib.sha256()
+    for fact in facts:
+        digest.update(repr(_canonical(fact)).encode())
+    return digest.hexdigest()
+
+
+def _canonical(value):
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canonical(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    return value
+
+
+def _column_bufs(owner, columns, lengths, elems):
+    out = {}
+    for name, (lo, hi) in columns.items():
+        out[(owner, name)] = Buf(
+            lengths.get(name, "n"), elems[name],
+            _bound_text(lo), _bound_text(hi),
+        )
+    return out
+
+
+# ---------------------------------------------------------------- MLPsim
+
+#: The literal ``repro.core.columnar.PLAN_CONTRACT`` must equal this.
+MLPSIM_PLAN_FACTS = {
+    "n_max": 1 << 26,
+    "columns": {
+        "ops": [0, 8],
+        "prod1": [0, ["n", 0]],
+        "prod2": [0, ["n", 0]],
+        "prod3": [0, ["n", 0]],
+        "memdep": [0, ["n", 0]],
+        "dmiss": [0, 1],
+        "imiss": [0, 1],
+        "mispred": [0, 1],
+        "pmiss": [0, 1],
+        "pfuseful": [0, 1],
+        "vp_ok": [0, 1],
+        "smiss": [0, 1],
+        "scalar_mask": [0, 1],
+    },
+    "config": {
+        "rob": [1, 1 << 24],
+        "iw": [1, 1 << 24],
+        "fetch_buffer": [0, 1 << 24],
+        "serializing": [0, 1],
+        "load_in_order": [0, 1],
+        "load_wait_staddr": [0, 1],
+        "branch_in_order": [0, 1],
+        "mshr_cap": [1, 1 << 30],
+        "sb_cap": [0, 1 << 30],
+        "slow_bp": [0, 1],
+        "slow_bp_threshold": [0, 1 << 20],
+    },
+}
+
+_MLPSIM_ELEMS = {
+    "ops": "int8_t", "prod1": "int32_t", "prod2": "int32_t",
+    "prod3": "int32_t", "memdep": "int32_t", "dmiss": "uint8_t",
+    "imiss": "uint8_t", "mispred": "uint8_t", "pmiss": "uint8_t",
+    "pfuseful": "uint8_t", "vp_ok": "uint8_t", "smiss": "uint8_t",
+    "scalar_mask": "uint8_t",
+}
+
+#: Epochs advance at least one instruction each (the progress rule the
+#: deadlock guard enforces), so epoch <= 2n + 2 < 2^28 at n <= 2^26.
+_EPOCH_REASON = ("every epoch retires or defers at least one"
+                 " instruction, so epoch <= 2n + 2 < 2^28")
+#: Per-epoch counters count instructions scanned in one epoch.
+_PER_EPOCH = ("counts instructions scanned in one epoch, <= n + 1")
+#: Whole-run counters are bounded by epochs * per-epoch work.
+_RUN_TOTAL = ("bounded by epochs * per-epoch accesses <= 2^54")
+
+_MLPSIM_FIELDS = {
+    ("Trace", "n"): Inv("n", "n"),
+    ("Scan", "epoch"): Inv("1", "(1 << 28)", trusted=True,
+                           reason=_EPOCH_REASON),
+    ("Scan", "accesses"): Inv("0", "(1 << 30)", trusted=True,
+                              reason=_PER_EPOCH),
+    ("Scan", "e_dmiss"): Inv("0", "(1 << 30)", trusted=True,
+                             reason=_PER_EPOCH),
+    ("Scan", "e_imiss"): Inv("0", "(1 << 30)", trusted=True,
+                             reason=_PER_EPOCH),
+    ("Scan", "e_pmiss"): Inv("0", "(1 << 30)", trusted=True,
+                             reason=_PER_EPOCH),
+    ("Scan", "e_smiss"): Inv("0", "(1 << 30)", trusted=True,
+                             reason=_PER_EPOCH),
+    ("Scan", "inflight"): Inv("0", "(1 << 30)", trusted=True,
+                              reason=_PER_EPOCH),
+    ("Scan", "trigger_idx"): Inv("-1", "n - 1"),
+    ("Scan", "first_miss_idx"): Inv("-1", "n - 1"),
+    ("Scan", "blocked_memop"): Inv("0", "1"),
+    ("Scan", "blocked_staddr"): Inv("0", "1"),
+    ("Scan", "blocked_branch"): Inv("0", "1"),
+    ("Scan", "progress"): Inv("0", "1"),
+    ("Scan", "ev_count"): Inv("0", "(1 << 30)", trusted=True,
+                              reason=_PER_EPOCH),
+    ("Scan", "ev_first"): Inv("-1", "INH_COUNT - 1"),
+    ("Scan", "ev_last"): Inv("-1", "INH_COUNT - 1"),
+    ("Scan", "nd_len"): Inv(
+        "0", "n", trusted=True,
+        reason="each instruction index enters new_deferred at most "
+               "once per epoch, so the pending count never exceeds n"),
+    ("KernelResult", "epochs"): Inv("0", "(1 << 54)", trusted=True,
+                                    reason=_RUN_TOTAL),
+    ("KernelResult", "accesses"): Inv("0", "(1 << 54)", trusted=True,
+                                      reason=_RUN_TOTAL),
+    ("KernelResult", "dmiss_accesses"): Inv("0", "(1 << 54)", trusted=True,
+                                            reason=_RUN_TOTAL),
+    ("KernelResult", "imiss_accesses"): Inv("0", "(1 << 54)", trusted=True,
+                                            reason=_RUN_TOTAL),
+    ("KernelResult", "prefetch_accesses"): Inv("0", "(1 << 54)",
+                                               trusted=True,
+                                               reason=_RUN_TOTAL),
+    ("KernelResult", "store_accesses"): Inv("0", "(1 << 54)", trusted=True,
+                                            reason=_RUN_TOTAL),
+    ("KernelResult", "store_epochs"): Inv("0", "(1 << 54)", trusted=True,
+                                          reason=_RUN_TOTAL),
+    ("KernelResult", "error_index"): Inv("-1", "n"),
+}
+
+_MLPSIM_CONFIG_FIELDS = {
+    ("KernelConfig", name): Inv(
+        _bound_text(lo), _bound_text(hi), trusted=True,
+        reason="validated by validate_plan_contract before the call",
+    )
+    for name, (lo, hi) in MLPSIM_PLAN_FACTS["config"].items()
+}
+
+_MLPSIM_BUFFERS = {
+    **_column_bufs("Trace", MLPSIM_PLAN_FACTS["columns"],
+                   {}, _MLPSIM_ELEMS),
+    ("Trace", "imiss"): Buf("n", "uint8_t", "0", "1"),
+    ("Trace", "res_data"): Buf("n + 1", "int32_t", "0", "(1 << 30)"),
+    ("Trace", "res_valid"): Buf("n + 1", "int32_t", "0", "(1 << 30)"),
+    ("Trace", "deferred"): Buf("n + 1", "int32_t", "0", "n - 1"),
+    ("Trace", "new_deferred"): Buf("n + 1", "int32_t", "0", "n - 1"),
+    ("KernelResult", "inhibitors"): Buf(
+        "INH_COUNT", "int64_t", "0", "(1 << 54)", trusted=True,
+        reason="per-epoch counters: at most one increment per epoch"),
+}
+
+_MLPSIM_ENTRY = {
+    "n": Sym("n"),
+    "nconfigs": Sym("nconfigs"),
+    "configs": StructElem("nconfigs", "KernelConfig"),
+    "results": StructElem("nconfigs", "KernelResult"),
+    **{
+        name: _MLPSIM_BUFFERS[("Trace", name)]
+        for name in _MLPSIM_ELEMS
+    },
+}
+
+MLPSIM_CONTRACT = KernelContract(
+    path="src/repro/core/_mlpsim_kernel.c",
+    entry="mlpsim_batch",
+    symbols={"n": (0, 1 << 26), "nconfigs": (0, 1 << 20)},
+    buffers=_MLPSIM_BUFFERS,
+    fields={**_MLPSIM_FIELDS, **_MLPSIM_CONFIG_FIELDS},
+    entry_params=_MLPSIM_ENTRY,
+    python_path="src/repro/core/columnar.py",
+    python_name="PLAN_CONTRACT",
+    python_facts=MLPSIM_PLAN_FACTS,
+    driver_path="src/repro/core/ckernel.py",
+    driver_name="run_plan",
+)
+
+
+# --------------------------------------------------------------- cyclesim
+
+#: The literal ``repro.cyclesim.plan.CYCLE_PLAN_CONTRACT`` must equal
+#: this.  Producer columns keep the depgraph's -1 sentinel here
+#: (MLPsim's plan builder rewrites it to ``n``; cyclesim's does not).
+CYCLESIM_PLAN_FACTS = {
+    "n_max": 1 << 26,
+    "columns": {
+        "ops": [0, 8],
+        "prod1": [-1, ["n", -1]],
+        "prod2": [-1, ["n", -1]],
+        "prod3": [-1, ["n", -1]],
+        "memdep": [-1, ["n", -1]],
+        "addr_line": [0, 1 << 57],
+        "pc_line": [0, 1 << 57],
+        "dmiss": [0, 1],
+        "imiss": [0, 1],
+        "mispred": [0, 1],
+        "pmiss": [0, 1],
+        "pfuseful": [0, 1],
+    },
+    "config": {
+        "rob": [1, 1 << 20],
+        "issue_window": [1, 1 << 20],
+        "fetch_buffer": [1, 1 << 20],
+        "fetch_width": [1, 1 << 16],
+        "dispatch_width": [1, 1 << 16],
+        "issue_width": [1, 1 << 16],
+        "commit_width": [1, 1 << 16],
+        "frontend_depth": [0, 1 << 16],
+        "alu_latency": [0, 1 << 20],
+        "branch_latency": [0, 1 << 20],
+        "l1_latency": [0, 1 << 20],
+        "l2_latency": [0, 1 << 20],
+        "miss_penalty": [0, 1 << 20],
+        "redirect_penalty": [0, 1 << 20],
+        "load_in_order": [0, 1],
+        "load_wait_staddr": [0, 1],
+        "branch_in_order": [0, 1],
+        "serializing": [0, 1],
+        "perfect_l2": [0, 1],
+        "event_skip": [0, 1],
+    },
+}
+
+_CYCLESIM_ELEMS = {
+    "ops": "int8_t", "prod1": "int32_t", "prod2": "int32_t",
+    "prod3": "int32_t", "memdep": "int32_t", "addr_line": "int64_t",
+    "pc_line": "int64_t", "dmiss": "uint8_t", "imiss": "uint8_t",
+    "mispred": "uint8_t", "pmiss": "uint8_t", "pfuseful": "uint8_t",
+}
+
+#: Simulated time: the deadlock guard caps useful time far below
+#: NEVER; completion times add one miss penalty on top.
+_TIME_HI = "(1 << 53)"
+#: One wheel entry per off-chip access; at most two per instruction
+#: (an imiss at fetch, a dmiss/prefetch at issue), hence 2n entries.
+_WHEEL_REASON = ("at most two wheel entries per instruction: one pc"
+                 " line at fetch (gated by imiss_run), one data line"
+                 " at issue (each instruction issues once)")
+_TRK_TOTAL = ("monotone per-run totals, bounded by 2n accesses and"
+              " accesses * miss_penalty time")
+
+_CYCLESIM_FIELDS = {
+    ("Ctx", "n"): Inv("n", "n"),
+    ("Ctx", "ce_head"): Inv("0", "2 * n"),
+    ("Ctx", "ce_tail"): Inv("0", "2 * n", trusted=True,
+                            reason=_WHEEL_REASON),
+    ("Ctx", "rob_alloc"): Inv("rob_alloc", "rob_alloc"),
+    ("Ctx", "fq_alloc"): Inv("fq_alloc", "fq_alloc"),
+    ("Ctx", "miss_penalty"): Inv("0", "(1 << 20)"),
+    ("Tracker", "count"): Inv("0", "2 * n", trusted=True,
+                              reason=_TRK_TOTAL),
+    ("Tracker", "last_time"): Inv("0", _TIME_HI),
+    ("Tracker", "nonzero"): Inv("0", "(1 << 60)", trusted=True,
+                                reason=_TRK_TOTAL),
+    ("Tracker", "integral"): Inv("0", "(1 << 62)", trusted=True,
+                                 reason=_TRK_TOTAL),
+    ("CycleResult", "cycles"): Inv("0", _TIME_HI),
+    ("CycleResult", "offchip_accesses"): Inv("0", "(1 << 60)",
+                                             trusted=True,
+                                             reason=_TRK_TOTAL),
+    ("CycleResult", "dmiss_accesses"): Inv("0", "(1 << 60)", trusted=True,
+                                           reason=_TRK_TOTAL),
+    ("CycleResult", "imiss_accesses"): Inv("0", "(1 << 60)", trusted=True,
+                                           reason=_TRK_TOTAL),
+    ("CycleResult", "prefetch_accesses"): Inv("0", "(1 << 60)",
+                                              trusted=True,
+                                              reason=_TRK_TOTAL),
+    ("CycleResult", "nonzero_cycles"): Inv("0", "(1 << 60)"),
+    ("CycleResult", "outstanding_integral"): Inv("0", "(1 << 62)"),
+    ("CycleResult", "status"): Inv("0", "1"),
+    ("CycleResult", "error_cycle"): Inv("0", "NEVER"),
+    ("CycleResult", "error_committed"): Inv("0", "n"),
+}
+
+_CYCLESIM_CONFIG_FIELDS = {
+    ("CycleConfig", name): Inv(
+        _bound_text(lo), _bound_text(hi), trusted=True,
+        reason="validated by validate_cycle_plan_contract before the call",
+    )
+    for name, (lo, hi) in CYCLESIM_PLAN_FACTS["config"].items()
+}
+
+_CYCLESIM_BUFFERS = {
+    **_column_bufs("Ctx", CYCLESIM_PLAN_FACTS["columns"],
+                   {}, _CYCLESIM_ELEMS),
+    ("Ctx", "ready"): Buf("n", "int64_t", "0", "NEVER"),
+    ("Ctx", "complete"): Buf("n", "int64_t", "0", "NEVER"),
+    ("Ctx", "wake"): Buf("n", "int64_t", "-1", "NEVER"),
+    ("Ctx", "imiss_run"): Buf("n", "uint8_t", "0", "1"),
+    ("Ctx", "ent_done"): Buf("2 * n", "int64_t", "0", _TIME_HI),
+    ("Ctx", "ent_line"): Buf("2 * n", "int64_t", "0", "(1 << 57)"),
+    ("Ctx", "ent_useful"): Buf("2 * n", "uint8_t", "0", "1"),
+    ("Ctx", "ent_next"): Buf("2 * n", "int32_t", "-1", "2 * n - 1"),
+    ("Ctx", "hash_head"): Buf("HASH_SIZE", "int32_t", "-1", "2 * n - 1"),
+    ("Ctx", "rob_buf"): Buf("rob_alloc", "int64_t", "0", "n - 1"),
+    ("Ctx", "iw_buf"): Buf(
+        "iw_alloc", "int64_t", "0", "n - 1", trusted=True,
+        reason="slots cleared to -1 during issue are compacted out"
+               " before any later scan; live entries are instruction"
+               " indices"),
+    ("Ctx", "memops_buf"): Buf("iw_alloc", "int64_t", "0", "n - 1"),
+    ("Ctx", "branches_buf"): Buf("iw_alloc", "int64_t", "0", "n - 1"),
+    ("Ctx", "urs_buf"): Buf("n", "int64_t", "0", "n - 1"),
+    ("Ctx", "fq_idx"): Buf("fq_alloc", "int64_t", "0", "n - 1"),
+    ("Ctx", "fq_time"): Buf("fq_alloc", "int64_t", "0", _TIME_HI),
+    ("CycleResult", "stalls"): Buf(
+        "N_CATEGORIES", "int64_t", "0", "(1 << 62)", trusted=True,
+        reason="per-cycle stall counters: one increment per cycle"),
+}
+
+_CYCLESIM_ENTRY = {
+    "n": Sym("n"),
+    "n_configs": Sym("nconfigs"),
+    "configs": StructElem("nconfigs", "CycleConfig"),
+    "results": StructElem("nconfigs", "CycleResult"),
+    **{
+        name: _CYCLESIM_BUFFERS[("Ctx", name)]
+        for name in _CYCLESIM_ELEMS
+    },
+}
+
+CYCLESIM_CONTRACT = KernelContract(
+    path="src/repro/cyclesim/_cyclesim_kernel.c",
+    entry="cyclesim_batch",
+    symbols={
+        "n": (0, 1 << 26),
+        "nconfigs": (0, 1 << 20),
+        "rob_alloc": (1, 1 << 20),
+        "iw_alloc": (1, 1 << 20),
+        "fq_alloc": (1, 1 << 20),
+    },
+    buffers=_CYCLESIM_BUFFERS,
+    fields={**_CYCLESIM_FIELDS, **_CYCLESIM_CONFIG_FIELDS},
+    entry_params=_CYCLESIM_ENTRY,
+    python_path="src/repro/cyclesim/plan.py",
+    python_name="CYCLE_PLAN_CONTRACT",
+    python_facts=CYCLESIM_PLAN_FACTS,
+    driver_path="src/repro/cyclesim/ckernel.py",
+    driver_name="run_cycle_plan",
+)
+
+
+def kernel_contracts():
+    """All declared kernel contracts, in certification order."""
+    return (MLPSIM_CONTRACT, CYCLESIM_CONTRACT)

@@ -258,6 +258,40 @@ def _parse_field(decl, lineno):
     return CField(name, ctype, array_len, lineno)
 
 
+def _parse_field_decls(decl, lineno):
+    """Parse one ``;``-terminated member declaration into its fields.
+
+    A single declaration may carry several declarators
+    (``const int32_t *prod1, *prod2;``); each declarator owns its own
+    ``*``s and array suffix while sharing the base type.
+    """
+    decl = decl.strip()
+    if not decl:
+        return []
+    chunks = decl.split(",")
+    first = _parse_field(chunks[0], lineno)
+    if first is None:
+        return []
+    fields = [first]
+    base = first.ctype
+    while base.endswith("*"):
+        base = base[:-1].rstrip()
+    for chunk in chunks[1:]:
+        chunk = chunk.strip()
+        array_len = None
+        array = re.search(r"\[([^\]]*)\]\s*$", chunk)
+        if array:
+            array_len = array.group(1).strip()
+            chunk = chunk[: array.start()].rstrip()
+        stars = chunk.count("*")
+        name = chunk.replace("*", "").strip()
+        if not re.fullmatch(_IDENT, name):
+            continue
+        ctype = _normalise_type((base + " " + "*" * stars).split())
+        fields.append(CField(name, ctype, array_len, lineno))
+    return fields
+
+
 def _extract_structs(stripped):
     structs = {}
     for match in re.finditer(r"\btypedef\s+struct\b", stripped):
@@ -276,10 +310,8 @@ def _extract_structs(stripped):
         for decl in body.split(";"):
             lineno = _lineno_at(stripped, offset + len(decl)
                                 - len(decl.lstrip()))
-            field = _parse_field(decl, lineno)
+            fields.extend(_parse_field_decls(decl, lineno))
             offset += len(decl) + 1
-            if field is not None:
-                fields.append(field)
         structs[name] = CStruct(
             name, fields, _lineno_at(stripped, match.start())
         )

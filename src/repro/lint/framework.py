@@ -100,6 +100,15 @@ class Project:
     def __init__(self, root):
         self.root = pathlib.Path(root)
         self.modules = []
+        #: ``(relpath, kind)`` -> number of times that file's AST was
+        #: built this run.  ``kind`` distinguishes the parsers that
+        #: legitimately each run once over a file ("py" for the Python
+        #: AST, "c-extract" for kernel declarations, "c-unit" for the
+        #: certifier's statement bodies); the lint test suite asserts
+        #: every count stays at exactly 1, which is what makes the
+        #: shared caches below load-bearing rather than decorative.
+        self.parse_counts = {}
+        self._c_extracts = {}
         relpaths = set()
         for source_root in SOURCE_ROOTS:
             base = self.root / source_root
@@ -111,9 +120,15 @@ class Project:
                     continue
                 relpaths.add(relpath)
         for relpath in sorted(relpaths):
+            self.count_parse(relpath, "py")
             self.modules.append(
                 ModuleInfo(relpath, (self.root / relpath).read_text())
             )
+
+    def count_parse(self, relpath, kind):
+        """Record one AST build of *relpath* in the parse ledger."""
+        key = (relpath, kind)
+        self.parse_counts[key] = self.parse_counts.get(key, 0) + 1
 
     def module(self, relpath):
         """Look up a module by root-relative POSIX path (or ``None``)."""
@@ -135,6 +150,26 @@ class Project:
             return None
         return path.read_text().replace("\r\n", "\n")
 
+    def c_extract(self, relpath):
+        """Declaration-level extraction of a C source, parsed once.
+
+        Every pass that needs the kernel's structs/defines/prototypes
+        goes through this cache (``kernel-abi``, ``kernel-constants``
+        and the certify layer all read the same files), so one lint
+        run parses each C source exactly once.  Returns ``None`` when
+        the file is absent.
+        """
+        if relpath not in self._c_extracts:
+            source = self.read_text(relpath)
+            if source is None:
+                self._c_extracts[relpath] = None
+            else:
+                from repro.lint.clang_parity.cextract import extract_c
+
+                self.count_parse(relpath, "c-extract")
+                self._c_extracts[relpath] = extract_c(source)
+        return self._c_extracts[relpath]
+
 
 class LintPass:
     """Base class for one enforced invariant.
@@ -144,10 +179,16 @@ class LintPass:
     (one line, shown by ``repro lint --list``), then override one or
     both hooks.  Hooks yield :class:`~repro.lint.findings.Finding`
     records; the framework applies suppression filtering afterwards.
+
+    :attr:`severity` is the pass's default severity — what
+    :meth:`finding` stamps unless a call overrides it, and what
+    ``repro lint --list`` reports.  ``ERROR`` passes fail the build;
+    a new pass can ship as ``WARNING`` to observe before enforcing.
     """
 
     id = None
     description = ""
+    severity = Severity.ERROR
 
     def check_module(self, module, project):
         """Yield findings for one parsed module (default: none)."""
@@ -157,13 +198,12 @@ class LintPass:
         """Yield project-wide findings after all modules (default: none)."""
         return ()
 
-    def finding(self, module_or_path, line, message,
-                severity=Severity.ERROR):
+    def finding(self, module_or_path, line, message, severity=None):
         """Convenience constructor stamping this pass's id."""
         path = getattr(module_or_path, "relpath", module_or_path)
         return Finding(
             path=path, line=line, pass_id=self.id, message=message,
-            severity=severity,
+            severity=self.severity if severity is None else severity,
         )
 
 
@@ -188,7 +228,7 @@ def registered_passes():
     return dict(_REGISTRY)
 
 
-def run_lint(root, select=None):
+def run_lint(root, select=None, stats=None):
     """Run the (selected) passes over the tree at *root*.
 
     Parameters
@@ -200,12 +240,19 @@ def run_lint(root, select=None):
         Optional iterable of pass ids to run; ``None`` runs every
         registered pass.  Unknown ids raise
         :class:`~repro.robustness.errors.ConfigError`.
+    stats:
+        Optional dict, filled in place with run telemetry: ``passes``
+        (list of ``{"id", "seconds", "findings"}`` in execution
+        order), ``parse_counts`` (the project's ``(relpath, kind)``
+        ledger) and ``files_parsed``.  Drives ``repro lint --stats``
+        and the exactly-once-parse assertion in the test suite.
 
     Returns
     -------
     list of Finding
         Suppression-filtered, sorted by (path, line, pass id).
     """
+    import time
     registry = registered_passes()
     if select is None:
         selected = list(registry)
@@ -233,18 +280,34 @@ def run_lint(root, select=None):
                 pass_id="parse",
                 message=f"file does not parse: {module.parse_error.msg}",
             ))
+    pass_stats = []
     for pass_id in selected:
         lint_pass = registry[pass_id]()
+        started = time.perf_counter()
+        reported = 0
         for module in project.modules:
             if module.tree is None:
                 continue
             for finding in lint_pass.check_module(module, project):
                 if not module.suppressed(finding.line, pass_id):
                     findings.append(finding)
+                    reported += 1
         for finding in lint_pass.check_project(project):
             module = project.module(finding.path)
             if module is None or not module.suppressed(
                 finding.line, pass_id
             ):
                 findings.append(finding)
+                reported += 1
+        pass_stats.append({
+            "id": pass_id,
+            "seconds": time.perf_counter() - started,
+            "findings": reported,
+        })
+    if stats is not None:
+        stats["passes"] = pass_stats
+        stats["parse_counts"] = dict(project.parse_counts)
+        stats["files_parsed"] = len(
+            {relpath for relpath, _ in project.parse_counts}
+        )
     return sorted(findings)

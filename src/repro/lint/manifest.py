@@ -16,6 +16,12 @@ packs and compares it against the pin below, so changing the payload
 layout without bumping ``COLUMNAR_SCHEMA_VERSION`` (or bumping the
 version without regenerating this manifest) fails the build.
 
+The kernel certification (PR 10) pins the plan contracts the same
+way: the ``plan-contract`` pass fingerprints the ``PLAN_CONTRACT`` /
+``CYCLE_PLAN_CONTRACT`` literals the runtime validators enforce and
+compares them against the pins below, so changing a contracted range
+without regenerating this manifest fails the build.
+
 Hashes are computed over text with ``\\r\\n`` normalised to ``\\n``, so
 checkouts with translated line endings still verify.  Regenerate this
 file with ``repro lint --manifest-update`` (see
@@ -51,3 +57,15 @@ PAYLOAD_SCHEMA_VERSION = 1
 PAYLOAD_SCHEMA_SHA256 = (
     "a87855d9fd2a0280ba265a04dd00f87ee187e4dad46f929142ccfbbf17c5d3ca"
 )
+
+#: ``facts_fingerprint`` pins of the Python plan-contract literals the
+#: kernel certification assumes, keyed by literal name (see
+#: ``repro.lint.certify.contracts``).
+PLAN_CONTRACT_FINGERPRINTS = {
+    "PLAN_CONTRACT": (
+        "34257d537596cc03008579da5ce61e21dd8d9cf80df7da5c01dcd9f3657bca5b"
+    ),
+    "CYCLE_PLAN_CONTRACT": (
+        "e62d25af0454fc9bcd749c8394f6347c34b0402899d6d4fbce2d8b7769bcd296"
+    ),
+}

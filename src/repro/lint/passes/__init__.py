@@ -15,7 +15,10 @@ from repro.lint.passes import (  # noqa: F401  (imported for registration)
     frozen_oracle,
     journal_protocol,
     kernel_abi,
+    kernel_bounds,
     kernel_constants,
+    kernel_overflow,
+    plan_contract,
     resource_paths,
     schema_version,
     seed_provenance,

@@ -26,7 +26,6 @@ naming the Python and C lines of the disagreeing pair.
 
 import re
 
-from repro.lint.clang_parity.cextract import extract_c
 from repro.lint.clang_parity.pyextract import argtypes_wiring, ctypes_structs
 from repro.lint.framework import LintPass, register
 
@@ -80,15 +79,14 @@ class KernelAbiPass(LintPass):
         ck = project.module(CKERNEL_PATH)
         if ck is None or ck.tree is None:
             return
-        c_source = project.read_text(C_KERNEL_PATH)
-        if c_source is None:
+        extract = project.c_extract(C_KERNEL_PATH)
+        if extract is None:
             yield self.finding(
                 ck, 1,
                 f"{C_KERNEL_PATH} is missing: ckernel.py binds a C"
                 " kernel that is not in the tree",
             )
             return
-        extract = extract_c(c_source)
         py_structs = ctypes_structs(ck.tree)
         for py_name, c_name in _STRUCT_PAIRS:
             py_struct = py_structs.get(py_name)

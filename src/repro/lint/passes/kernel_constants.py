@@ -31,7 +31,6 @@ as "everything matches" (CI's ``lint-parity`` smoke also guards this
 by mutating a define and expecting a finding).
 """
 
-from repro.lint.clang_parity.cextract import extract_c
 from repro.lint.clang_parity.pyextract import (
     attr_tuple,
     enum_members,
@@ -56,10 +55,9 @@ class KernelConstantsPass(LintPass):
     )
 
     def check_project(self, project):
-        c_source = project.read_text(C_KERNEL_PATH)
-        if c_source is None:
+        extract = project.c_extract(C_KERNEL_PATH)
+        if extract is None:
             return  # kernel-abi reports a missing C file
-        extract = extract_c(c_source)
         if not extract.defines:
             module = project.module(CKERNEL_PATH)
             if module is not None:

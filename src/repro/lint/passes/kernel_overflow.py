@@ -1,0 +1,50 @@
+"""kernel-overflow: no signed C arithmetic can wrap.
+
+Signed overflow is undefined behaviour in C — a wrapped accumulator
+does not crash, it silently produces whatever the optimiser felt like,
+and the Python/C equivalence suite only catches it when a test trace
+happens to push a counter past its width.  This pass reuses the
+interval fixpoint from :mod:`repro.lint.certify` and reports every
+signed arithmetic result whose interval is not provably inside the
+declared type width — e.g. a running total typed ``int32_t`` whose
+interval reaches ``[0, +inf)`` under the contracted trace length.
+
+Parse failures and annotation hygiene are reported by
+``kernel-bounds`` (one pass owns each shared diagnostic); this pass
+reports overflow obligations only.
+
+Suppression uses C block comments
+(``/* reprolint: disable=kernel-overflow -- why */``): trailing on the
+flagged line, or alone on the line above it.  The ``-- why`` reason is
+mandatory.
+"""
+
+from repro.lint.certify import certified_kernels
+from repro.lint.framework import LintPass, register
+
+
+@register
+class KernelOverflowPass(LintPass):
+    id = "kernel-overflow"
+    description = (
+        "every signed arithmetic result in the C kernels must be"
+        " provably inside its declared type width"
+    )
+
+    def check_project(self, project):
+        for relpath, report in sorted(certified_kernels(project).items()):
+            if report.error is not None:
+                continue  # kernel-bounds reports the parse failure
+            seen = set()
+            for obligation in report.failed("overflow"):
+                if report.unit.suppressed(obligation.lineno, self.id):
+                    continue
+                # The checker proves both the arithmetic result and the
+                # store of one statement; a too-narrow variable fails
+                # both at once — one defect, one finding per line.
+                if obligation.lineno in seen:
+                    continue
+                seen.add(obligation.lineno)
+                yield self.finding(
+                    relpath, obligation.lineno, obligation.message,
+                )

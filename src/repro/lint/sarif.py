@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 serialisation of reprolint findings.
+
+``repro lint --format sarif`` emits a single-run SARIF log so CI can
+upload the findings to GitHub code scanning
+(``github/codeql-action/upload-sarif``) and reviewers see them as
+inline annotations with rule metadata, instead of grepping job logs.
+
+The mapping is deliberately minimal and stable:
+
+* every registered pass becomes a ``rules[]`` entry (id, description,
+  default severity level) whether or not it fired — so a clean run
+  still documents what was checked;
+* every finding becomes a ``results[]`` entry pointing at the
+  repo-relative ``artifactLocation`` and 1-based ``startLine``, with
+  ``level`` mapped from :class:`~repro.lint.findings.Severity`.
+"""
+
+from repro.lint.findings import Severity
+
+#: The one schema version we emit; bump only with a reviewed change.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _level(severity):
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def sarif_payload(findings, passes):
+    """The SARIF log dict for *findings* under the *passes* registry.
+
+    *passes* is ``{pass_id: LintPass subclass}`` (the shape of
+    :func:`repro.lint.framework.registered_passes`); *findings* is a
+    list of :class:`~repro.lint.findings.Finding`.
+    """
+    rule_ids = sorted(passes)
+    rule_index = {pass_id: index for index, pass_id in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": pass_id,
+            "shortDescription": {"text": passes[pass_id].description},
+            "defaultConfiguration": {
+                "level": _level(passes[pass_id].severity),
+            },
+        }
+        for pass_id in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": finding.pass_id,
+            "ruleIndex": rule_index.get(finding.pass_id, -1),
+            "level": _level(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(finding.line, 1)},
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {
+                        "text": "repository root (the --root argument)",
+                    }},
+                },
+                "results": results,
+            }
+        ],
+    }

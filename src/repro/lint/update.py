@@ -15,9 +15,11 @@ Two interlocks keep the update an explicit, reviewable act:
   — stays a single reviewed change, while regenerating pins in the
   middle of unrelated uncommitted churn (where the reviewer cannot
   tell which edit the new fingerprint blesses) is refused;
-* **extraction refusal** — if ``PLAN_COLUMNS`` or
-  ``COLUMNAR_SCHEMA_VERSION`` cannot be statically extracted, the
-  update fails rather than pinning a fingerprint of nothing.
+* **extraction refusal** — if ``PLAN_COLUMNS``,
+  ``COLUMNAR_SCHEMA_VERSION`` or a plan-contract literal
+  (``PLAN_CONTRACT`` / ``CYCLE_PLAN_CONTRACT``) cannot be statically
+  extracted, the update fails rather than pinning a fingerprint of
+  nothing.
 
 See the "bumping the schema" section of ``docs/STATIC_ANALYSIS.md``.
 """
@@ -39,6 +41,13 @@ from repro.lint.clang_parity.pyextract import (
 #: Root-relative path of the file this module rewrites.
 MANIFEST_PATH = "src/repro/lint/manifest.py"
 
+#: Root-relative paths of the modules whose plan-contract literals are
+#: fingerprinted, keyed by literal name.
+_CONTRACT_SOURCES = {
+    "PLAN_CONTRACT": "src/repro/core/columnar.py",
+    "CYCLE_PLAN_CONTRACT": "src/repro/cyclesim/plan.py",
+}
+
 #: Files allowed to carry uncommitted changes during an update: the
 #: ones whose pins are being regenerated, plus the manifest itself.
 _ALLOWED_DIRTY = frozenset({
@@ -46,6 +55,7 @@ _ALLOWED_DIRTY = frozenset({
     manifest.ORACLE_PATH,
     manifest.CYCLESIM_ORACLE_PATH,
     manifest.PAYLOAD_SCHEMA_PATH,
+    *_CONTRACT_SOURCES.values(),
 })
 
 _TEMPLATE = '''\
@@ -66,6 +76,12 @@ The columnar plan payload (PR 7) gets the same treatment: the
 packs and compares it against the pin below, so changing the payload
 layout without bumping ``COLUMNAR_SCHEMA_VERSION`` (or bumping the
 version without regenerating this manifest) fails the build.
+
+The kernel certification (PR 10) pins the plan contracts the same
+way: the ``plan-contract`` pass fingerprints the ``PLAN_CONTRACT`` /
+``CYCLE_PLAN_CONTRACT`` literals the runtime validators enforce and
+compares them against the pins below, so changing a contracted range
+without regenerating this manifest fails the build.
 
 Hashes are computed over text with ``\\\\r\\\\n`` normalised to ``\\\\n``, so
 checkouts with translated line endings still verify.  Regenerate this
@@ -102,6 +118,18 @@ PAYLOAD_SCHEMA_VERSION = {payload_schema_version}
 PAYLOAD_SCHEMA_SHA256 = (
     "{payload_schema_sha256}"
 )
+
+#: ``facts_fingerprint`` pins of the Python plan-contract literals the
+#: kernel certification assumes, keyed by literal name (see
+#: ``repro.lint.certify.contracts``).
+PLAN_CONTRACT_FINGERPRINTS = {{
+    "PLAN_CONTRACT": (
+        "{plan_contract_sha256}"
+    ),
+    "CYCLE_PLAN_CONTRACT": (
+        "{cycle_plan_contract_sha256}"
+    ),
+}}
 '''
 
 
@@ -190,6 +218,27 @@ def update_manifest(root="."):
         )
     fingerprint = schema_fingerprint(columns[0], payload_extras(tree))
 
+    from repro.lint.certify.contracts import facts_fingerprint
+    from repro.lint.certify.pyfacts import extract_contract_literal
+
+    contract_pins = {}
+    for literal_name, relpath in _CONTRACT_SOURCES.items():
+        source = _read_normalised(root, relpath)
+        try:
+            contract_tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise ManifestUpdateError(
+                f"{relpath} does not parse: {exc}"
+            ) from exc
+        facts, lineno = extract_contract_literal(contract_tree,
+                                                 literal_name)
+        if facts is None:
+            raise ManifestUpdateError(
+                f"cannot extract the {literal_name} literal from"
+                f" {relpath}; refusing to pin a fingerprint of nothing"
+            )
+        contract_pins[literal_name] = facts_fingerprint(facts)
+
     content = _TEMPLATE.format(
         oracle_path=manifest.ORACLE_PATH,
         oracle_sha256=oracle_sha,
@@ -198,6 +247,8 @@ def update_manifest(root="."):
         payload_schema_path=manifest.PAYLOAD_SCHEMA_PATH,
         payload_schema_version=version[0],
         payload_schema_sha256=fingerprint,
+        plan_contract_sha256=contract_pins["PLAN_CONTRACT"],
+        cycle_plan_contract_sha256=contract_pins["CYCLE_PLAN_CONTRACT"],
     )
 
     target = os.path.join(root, MANIFEST_PATH)
@@ -228,5 +279,6 @@ def update_manifest(root="."):
         "cyclesim_oracle_sha256": cyclesim_oracle_sha,
         "payload_schema_version": version[0],
         "payload_schema_sha256": fingerprint,
+        "plan_contract_fingerprints": contract_pins,
         "changed": changed,
     }

@@ -2,6 +2,7 @@
 #include <stdint.h>
 
 #define BATCH_MAGIC 7
+#define INH_COUNT 4
 
 typedef struct {
     int64_t rob;

@@ -1,0 +1,1 @@
+"""Placeholder driver: the fixture exercises the C certifier only."""

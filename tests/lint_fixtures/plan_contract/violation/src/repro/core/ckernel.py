@@ -1,0 +1,17 @@
+"""Miniature ctypes driver: the validator call dominates the kernel.
+
+``run_plan`` calls ``validate_plan_contract`` as an unconditional
+top-level statement before the ``_kernel(...)`` invocation — the
+dominance shape the ``plan-contract`` pass requires.
+"""
+
+from repro.core.columnar import validate_plan_contract
+
+
+def _kernel(plan, configs):
+    return 0
+
+
+def run_plan(plan, configs):
+    validate_plan_contract(plan, configs)
+    return _kernel(plan, configs)

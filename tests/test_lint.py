@@ -46,12 +46,18 @@ PARITY_PASSES = frozenset({
 TYPESTATE_PASSES = frozenset({
     "shm-lifetime", "journal-protocol", "signal-safety",
 })
+#: Passes added by the kernel-certification layer; their fixture pairs
+#: are driven by test_lint_certify.py.
+CERTIFY_PASSES = frozenset({
+    "kernel-bounds", "kernel-overflow", "plan-contract",
+})
 
 
 class TestRegistry:
-    def test_all_sixteen_passes_registered(self):
+    def test_all_nineteen_passes_registered(self):
         assert set(registered_passes()) == (
             set(PASS_FIXTURES) | PARITY_PASSES | TYPESTATE_PASSES
+            | CERTIFY_PASSES
         )
 
     def test_unknown_select_rejected(self):
@@ -206,13 +212,50 @@ class TestCli:
         assert "unknown lint pass" in capsys.readouterr().err
 
     def test_list_passes(self, capsys):
+        """--list shows every pass with its default severity AND its
+        description, so the listing documents what failing means."""
         assert main(["lint", "--list"]) == 0
         out = capsys.readouterr().out
-        for pass_id in PASS_FIXTURES:
-            assert pass_id in out
+        for pass_id, cls in registered_passes().items():
+            matching = [line for line in out.splitlines()
+                        if line.startswith(pass_id)]
+            assert len(matching) == 1, pass_id
+            line = matching[0]
+            assert cls.severity.value in line.split()
+            assert cls.description in line
 
 
 class TestFrameworkDetails:
+    def test_every_file_parsed_exactly_once(self):
+        """The shared AST/extract cache means no pass re-parses a file:
+        every (file, parse-kind) ledger entry is exactly 1 even with
+        all nineteen passes running — including both C parse kinds
+        (the declaration extract and the full statement-level unit)."""
+        stats = {}
+        run_lint(FIXTURES / "plan_contract" / "clean", stats=stats)
+        assert stats["parse_counts"], "parse ledger is empty"
+        repeated = {
+            key: count for key, count in stats["parse_counts"].items()
+            if count != 1
+        }
+        assert repeated == {}
+        kinds = {kind for _, kind in stats["parse_counts"]}
+        assert kinds == {"py", "c-extract", "c-unit"}
+        assert stats["files_parsed"] == len(
+            {relpath for relpath, _ in stats["parse_counts"]}
+        )
+
+    def test_stats_reports_every_pass_wall_time(self):
+        stats = {}
+        run_lint(
+            FIXTURES / "error_hierarchy" / "clean",
+            select=["error-hierarchy", "determinism"], stats=stats,
+        )
+        entries = {entry["id"]: entry for entry in stats["passes"]}
+        assert set(entries) == {"error-hierarchy", "determinism"}
+        assert all(entry["seconds"] >= 0 for entry in entries.values())
+        assert all(entry["findings"] == 0 for entry in entries.values())
+
     def test_parse_error_is_reported_not_raised(self, tmp_path):
         bad = tmp_path / "src" / "repro" / "broken.py"
         bad.parent.mkdir(parents=True)

@@ -51,6 +51,7 @@ _PARITY_SOURCES = (
     "src/repro/isa/opclass.py",
     "src/repro/core/termination.py",
     "src/repro/core/mlpsim.py",
+    "src/repro/cyclesim/plan.py",  # CYCLE_PLAN_CONTRACT fingerprint pin
     PAYLOAD_SCHEMA_PATH,
     ORACLE_PATH,
     CYCLESIM_ORACLE_PATH,
